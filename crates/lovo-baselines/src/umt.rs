@@ -1,0 +1,221 @@
+//! UMT-style end-to-end baseline: unified multi-modal moment retrieval.
+//!
+//! UMT retrieves *moments* (temporal windows), not object-level frames. The
+//! analogue groups sampled frames into fixed-length moments, pools an
+//! area-weighted frame embedding per moment (small objects nearly vanish,
+//! the weakness the paper reports), scores moments against the query with a
+//! cross-modal pass whose modeled cost scales with the number of moments,
+//! and returns the frames of the best moments with frame-level boxes.
+
+use crate::{finalize_hits, ObjectQuerySystem, PreprocessReport, QueryResponse, RankedHit};
+use lovo_encoder::space::DetailLevel;
+use lovo_encoder::{TextEncoder, TextEncoderConfig};
+use lovo_tensor::ops::{dot, l2_normalize};
+use lovo_video::bbox::BoundingBox;
+use lovo_video::query::ObjectQuery;
+use lovo_video::VideoCollection;
+use std::time::Instant;
+
+struct Moment {
+    video_id: u32,
+    frame_indices: Vec<u32>,
+    embedding: Vec<f32>,
+    frame_box: BoundingBox,
+}
+
+/// The UMT-style baseline.
+pub struct Umt {
+    text_encoder: TextEncoder,
+    sample_interval: usize,
+    /// Number of sampled frames per moment window.
+    moment_length: usize,
+    /// Modeled per-frame feature-extraction cost in milliseconds.
+    feature_ms_per_frame: f64,
+    /// Modeled per-moment cross-modal scoring cost in milliseconds.
+    scoring_ms_per_moment: f64,
+    moments: Vec<Moment>,
+}
+
+impl Default for Umt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Umt {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        Self {
+            text_encoder: TextEncoder::new(TextEncoderConfig::default())
+                .expect("default text encoder config is valid"),
+            sample_interval: 10,
+            moment_length: 6,
+            feature_ms_per_frame: 2.0,
+            scoring_ms_per_moment: 350.0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Number of indexed moments (diagnostic).
+    pub fn indexed_moments(&self) -> usize {
+        self.moments.len()
+    }
+}
+
+impl ObjectQuerySystem for Umt {
+    fn name(&self) -> &'static str {
+        "UMT"
+    }
+
+    fn preprocess(&mut self, videos: &VideoCollection) -> PreprocessReport {
+        let start = Instant::now();
+        let space = self.text_encoder.space();
+        self.moments.clear();
+        let mut frames_processed = 0usize;
+        for video in &videos.videos {
+            let sampled: Vec<&lovo_video::Frame> = video
+                .frames
+                .iter()
+                .step_by(self.sample_interval.max(1))
+                .collect();
+            for window in sampled.chunks(self.moment_length.max(1)) {
+                let mut embedding = vec![0.0f32; space.dim()];
+                let mut frame_indices = Vec::with_capacity(window.len());
+                let mut best_box =
+                    BoundingBox::new(0.0, 0.0, video.frames[0].width as f32, video.frames[0].height as f32);
+                let mut best_area = 0.0f32;
+                for frame in window {
+                    frames_processed += 1;
+                    frame_indices.push(frame.index as u32);
+                    let frame_area = (frame.width as f32 * frame.height as f32).max(1.0);
+                    for obj in &frame.objects {
+                        // Strong area weighting: moment retrieval is tuned for
+                        // scene-level events, so small objects contribute little.
+                        let weight = (obj.bbox.area() / frame_area).clamp(0.0, 1.0);
+                        let obj_embedding =
+                            space.embed_attributes(&obj.attributes, DetailLevel::Coarse);
+                        for (e, o) in embedding.iter_mut().zip(obj_embedding.iter()) {
+                            *e += weight * o;
+                        }
+                        if obj.bbox.area() > best_area {
+                            best_area = obj.bbox.area();
+                            best_box = obj.bbox;
+                        }
+                    }
+                }
+                l2_normalize(&mut embedding);
+                self.moments.push(Moment {
+                    video_id: video.id,
+                    frame_indices,
+                    embedding,
+                    frame_box: best_box,
+                });
+            }
+        }
+        PreprocessReport {
+            wall_seconds: start.elapsed().as_secs_f64(),
+            modeled_seconds: frames_processed as f64 * self.feature_ms_per_frame / 1000.0 + 3.0,
+            frames_processed,
+        }
+    }
+
+    fn query(&self, _videos: &VideoCollection, query: &ObjectQuery, top: usize) -> QueryResponse {
+        let start = Instant::now();
+        let encoded = match self.text_encoder.encode(&query.text) {
+            Ok(e) => e,
+            Err(_) => {
+                return QueryResponse {
+                    supported: false,
+                    ..Default::default()
+                }
+            }
+        };
+        let mut hits = Vec::new();
+        for moment in &self.moments {
+            let score = dot(&encoded.embedding, &moment.embedding);
+            for &frame_index in &moment.frame_indices {
+                hits.push(RankedHit {
+                    video_id: moment.video_id,
+                    frame_index,
+                    bbox: moment.frame_box,
+                    score,
+                });
+            }
+        }
+        QueryResponse {
+            hits: finalize_hits(hits, top),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            // The joint multi-modal transformer runs once per moment at query
+            // time, which is why UMT's search dominates its total in Table III.
+            modeled_seconds: self.moments.len() as f64 * self.scoring_ms_per_moment / 1000.0,
+            supported: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_video::query::{QueryComplexity, QueryConstraints};
+    use lovo_video::{DatasetConfig, DatasetKind, ObjectClass};
+
+    fn videos() -> VideoCollection {
+        VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Qvhighlights)
+                .with_num_videos(6)
+                .with_frames_per_video(120)
+                .with_seed(2),
+        )
+    }
+
+    fn woman_query() -> ObjectQuery {
+        ObjectQuery::new(
+            "Q3.1",
+            "A woman smiling sitting inside car.",
+            QueryConstraints {
+                class: Some(ObjectClass::Person),
+                gender: Some(lovo_video::Gender::Woman),
+                location: Some(lovo_video::Location::InsideCar),
+                ..Default::default()
+            },
+            QueryComplexity::Normal,
+        )
+    }
+
+    #[test]
+    fn builds_moments_and_answers_queries() {
+        let collection = videos();
+        let mut umt = Umt::new();
+        let pre = umt.preprocess(&collection);
+        assert!(umt.indexed_moments() > 0);
+        assert!(pre.frames_processed > 0);
+        let response = umt.query(&collection, &woman_query(), 10);
+        assert!(response.supported);
+        assert!(!response.hits.is_empty());
+    }
+
+    #[test]
+    fn search_cost_exceeds_processing_cost() {
+        // Table III: UMT's query search dominates its video processing.
+        let collection = videos();
+        let mut umt = Umt::new();
+        let pre = umt.preprocess(&collection);
+        let response = umt.query(&collection, &woman_query(), 10);
+        assert!(response.modeled_seconds > pre.modeled_seconds);
+    }
+
+    #[test]
+    fn hits_within_a_moment_share_score_and_box() {
+        let collection = videos();
+        let mut umt = Umt::new();
+        umt.preprocess(&collection);
+        let response = umt.query(&collection, &woman_query(), 30);
+        // Consecutive hits from the same moment have identical scores.
+        let same_scores = response
+            .hits
+            .windows(2)
+            .filter(|w| (w[0].score - w[1].score).abs() < 1e-6)
+            .count();
+        assert!(same_scores > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Wall-clock benchmarks of the LOVO query pipeline stages on a Bellevue-style
+//! collection: visual frame encoding (processing, Fig. 11(a)), the fast search
+//! (Fig. 11(b)/(c)), the cross-modality rerank per candidate frame
+//! (Fig. 11(d)), and the end-to-end two-stage query (Fig. 8 / Table III).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lovo_core::{Lovo, LovoConfig};
+use lovo_encoder::cross_modality::CandidateFrame;
+use lovo_encoder::{CrossModalityConfig, CrossModalityTransformer, TextEncoder, TextEncoderConfig, VisualEncoder, VisualEncoderConfig};
+use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+use std::hint::black_box;
+
+fn collection() -> VideoCollection {
+    VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_frames_per_video(600)
+            .with_seed(17),
+    )
+}
+
+fn bench_visual_encoding(c: &mut Criterion) {
+    let videos = collection();
+    let encoder = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+    let frame = &videos.videos[0].frames[30];
+    c.bench_function("visual_encode_frame", |b| {
+        b.iter(|| encoder.encode_frame(black_box(frame)).unwrap())
+    });
+}
+
+fn bench_text_encoding(c: &mut Criterion) {
+    let encoder = TextEncoder::new(TextEncoderConfig::default()).unwrap();
+    c.bench_function("text_encode_query", |b| {
+        b.iter(|| {
+            encoder
+                .encode(black_box(
+                    "a red car side by side with another car in the center of the road",
+                ))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_two_stage_query(c: &mut Criterion) {
+    let videos = collection();
+    let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+    let no_rerank = Lovo::build(&videos, LovoConfig::ablation_without_rerank()).unwrap();
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    group.bench_function("fast_search_only", |b| {
+        b.iter(|| {
+            no_rerank
+                .query(black_box("a red car driving in the center of the road"))
+                .unwrap()
+        })
+    });
+    group.bench_function("fast_search_plus_rerank", |b| {
+        b.iter(|| {
+            lovo.query(black_box("a red car driving in the center of the road"))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_rerank_per_frame(c: &mut Criterion) {
+    let videos = collection();
+    let transformer = CrossModalityTransformer::new(CrossModalityConfig::default()).unwrap();
+    let candidates: Vec<CandidateFrame> = videos.videos[0]
+        .frames
+        .iter()
+        .step_by(40)
+        .take(10)
+        .map(|frame| CandidateFrame {
+            video_id: 0,
+            frame,
+            seed_box: None,
+        })
+        .collect();
+    c.bench_function("cross_modality_rerank_10_frames", |b| {
+        b.iter(|| {
+            transformer
+                .rerank(
+                    black_box("a red car side by side with another car"),
+                    black_box(&candidates),
+                )
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_visual_encoding,
+    bench_text_encoding,
+    bench_two_stage_query,
+    bench_rerank_per_frame
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 10: scalability with video duration.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let durations: Vec<f64> = [30.0, 90.0, 300.0, 900.0]
+        .iter()
+        .map(|d| (d * scale).max(20.0))
+        .collect();
+    let report = lovo_eval::experiments::fig10_scalability(&durations);
+    println!("{}", report.render());
+}

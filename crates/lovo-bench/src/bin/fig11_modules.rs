@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `fig11_modules`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::fig11_modules(scale);
+    println!("{}", report.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `fig2_motivation`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::fig2_motivation(scale);
+    println!("{}", report.render());
+}

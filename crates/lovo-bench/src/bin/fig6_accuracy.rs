@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `fig6_accuracy`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::fig6_accuracy(scale);
+    println!("{}", report.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `fig7_qualitative`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::fig7_qualitative(scale);
+    println!("{}", report.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `fig8_runtime`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::fig8_runtime(scale);
+    println!("{}", report.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `fig9_breakdown`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::fig9_breakdown(scale);
+    println!("{}", report.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `table3_vision_methods`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::table3_vision_methods(scale);
+    println!("{}", report.render());
+}

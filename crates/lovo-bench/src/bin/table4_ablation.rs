@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `table4_ablation`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::table4_ablation(scale);
+    println!("{}", report.render());
+}

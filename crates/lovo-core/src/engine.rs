@@ -1,0 +1,361 @@
+//! The LOVO system façade and the two-stage Query Strategy (§VI).
+
+use crate::config::LovoConfig;
+use crate::summary::{split_patch_id, IngestStats, KeyframeMap, VideoSummarizer, PATCH_COLLECTION};
+use crate::{LovoError, Result};
+use lovo_encoder::cross_modality::CandidateFrame;
+use lovo_encoder::{CrossModalityTransformer, RerankedFrame, TextEncoder};
+use lovo_index::SearchStats;
+use lovo_store::VectorDatabase;
+use lovo_video::bbox::BoundingBox;
+use lovo_video::VideoCollection;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall-clock timings of one query, split by stage (Fig. 9 reports these).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryTimings {
+    /// Text encoding seconds.
+    pub text_encoding_seconds: f64,
+    /// Fast-search (index probe) seconds.
+    pub fast_search_seconds: f64,
+    /// Cross-modality rerank seconds.
+    pub rerank_seconds: f64,
+}
+
+impl QueryTimings {
+    /// Total user-perceived search latency.
+    pub fn total_seconds(&self) -> f64 {
+        self.text_encoding_seconds + self.fast_search_seconds + self.rerank_seconds
+    }
+}
+
+/// One ranked object returned to the user: a frame plus the grounded box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedObject {
+    /// Video the frame belongs to.
+    pub video_id: u32,
+    /// Frame index within the video.
+    pub frame_index: u32,
+    /// Timestamp of the frame in seconds.
+    pub timestamp: f64,
+    /// Relevance score (cross-modality score when rerank is enabled,
+    /// fast-search similarity otherwise).
+    pub score: f32,
+    /// Bounding box of the matched object in the frame.
+    pub bbox: BoundingBox,
+}
+
+/// Result of one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The query text.
+    pub query: String,
+    /// Ranked output frames (best first), at most `output_frames` of them.
+    pub frames: Vec<RankedObject>,
+    /// Number of candidate patches the fast search returned.
+    pub fast_search_candidates: usize,
+    /// Number of distinct frames the rerank stage scored.
+    pub reranked_frames: usize,
+    /// Per-stage wall-clock timings.
+    pub timings: QueryTimings,
+    /// Index probe statistics of the fast search.
+    pub search_stats: SearchStats,
+}
+
+/// The LOVO system: built once over a video collection, queried many times.
+pub struct Lovo {
+    config: LovoConfig,
+    database: VectorDatabase,
+    keyframes: KeyframeMap,
+    text_encoder: TextEncoder,
+    rerank: CrossModalityTransformer,
+    ingest_stats: IngestStats,
+}
+
+impl Lovo {
+    /// Builds the system: runs the video-summary pipeline over `videos`,
+    /// stores the vector collection and metadata, and prepares the query-time
+    /// models.
+    pub fn build(videos: &VideoCollection, config: LovoConfig) -> Result<Self> {
+        config.validate().map_err(LovoError::InvalidState)?;
+        let summarizer = VideoSummarizer::new(&config)?;
+        let database = VectorDatabase::new();
+        let (ingest_stats, keyframes) = summarizer.ingest(videos, &database)?;
+        Ok(Self {
+            text_encoder: TextEncoder::new(config.text)?,
+            rerank: CrossModalityTransformer::new(config.cross_modality)?,
+            config,
+            database,
+            keyframes,
+            ingest_stats,
+        })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &LovoConfig {
+        &self.config
+    }
+
+    /// Statistics of the one-time video-summary / indexing phase.
+    pub fn ingest_stats(&self) -> &IngestStats {
+        &self.ingest_stats
+    }
+
+    /// Number of patch embeddings stored in the vector collection.
+    pub fn indexed_patches(&self) -> usize {
+        self.database
+            .collection_stats(PATCH_COLLECTION)
+            .map(|s| s.entities)
+            .unwrap_or(0)
+    }
+
+    /// Approximate storage footprint in bytes (index + metadata).
+    pub fn storage_bytes(&self) -> usize {
+        self.database.total_bytes()
+    }
+
+    /// Borrow the underlying vector database (used by storage experiments).
+    pub fn database(&self) -> &VectorDatabase {
+        &self.database
+    }
+
+    /// Answers a complex object query with the two-stage strategy of
+    /// Algorithm 2, returning the top `output_frames` frames with boxes.
+    pub fn query(&self, text: &str) -> Result<QueryResult> {
+        self.query_with_k(text, self.config.fast_search_k)
+    }
+
+    /// Like [`Lovo::query`] but with an explicit fast-search candidate count
+    /// (the scalability experiments sweep this).
+    pub fn query_with_k(&self, text: &str, fast_search_k: usize) -> Result<QueryResult> {
+        let mut timings = QueryTimings::default();
+
+        // --- Stage 1a: encode the query text (§VI-A). ---
+        let text_start = Instant::now();
+        let query_embedding = self.text_encoder.encode(text)?;
+        timings.text_encoding_seconds = text_start.elapsed().as_secs_f64();
+
+        // --- Stage 1b: fast search over the vector database (Algorithm 1). ---
+        let search_start = Instant::now();
+        let (hits, search_stats) = self.database.search_with_stats(
+            PATCH_COLLECTION,
+            &query_embedding.embedding,
+            fast_search_k,
+        )?;
+        timings.fast_search_seconds = search_start.elapsed().as_secs_f64();
+        let fast_search_candidates = hits.len();
+
+        // Group candidate patches by their key frame, remembering the best
+        // fast-search score and box per frame.
+        let mut frame_order: Vec<(u32, u32)> = Vec::new();
+        let mut best_per_frame: std::collections::HashMap<(u32, u32), (f32, BoundingBox)> =
+            std::collections::HashMap::new();
+        for hit in &hits {
+            let (video_id, frame_index, _) = split_patch_id(hit.patch_id);
+            let key = (video_id, frame_index);
+            let bbox = BoundingBox::new(
+                hit.record.bbox.0,
+                hit.record.bbox.1,
+                hit.record.bbox.2,
+                hit.record.bbox.3,
+            );
+            match best_per_frame.get_mut(&key) {
+                Some(existing) => {
+                    if hit.score > existing.0 {
+                        *existing = (hit.score, bbox);
+                    }
+                }
+                None => {
+                    best_per_frame.insert(key, (hit.score, bbox));
+                    frame_order.push(key);
+                }
+            }
+        }
+
+        // --- Stage 2: cross-modality rerank over the candidate frames. ---
+        let rerank_start = Instant::now();
+        let frames = if self.config.enable_rerank {
+            let candidates: Vec<CandidateFrame<'_>> = frame_order
+                .iter()
+                .filter_map(|key| {
+                    self.keyframes.get(key).map(|frame| CandidateFrame {
+                        video_id: key.0,
+                        frame,
+                        seed_box: best_per_frame.get(key).map(|(_, b)| *b),
+                    })
+                })
+                .collect();
+            let reranked: Vec<RerankedFrame> = self
+                .rerank
+                .rerank_with_constraints(&query_embedding.parsed, &candidates)?;
+            reranked
+                .into_iter()
+                .take(self.config.output_frames)
+                .map(|r| RankedObject {
+                    video_id: r.video_id,
+                    frame_index: r.frame_index as u32,
+                    timestamp: r.timestamp,
+                    score: r.score,
+                    bbox: r.bbox,
+                })
+                .collect()
+        } else {
+            // Ablation: return the fast-search frame order directly.
+            let mut ranked: Vec<RankedObject> = frame_order
+                .iter()
+                .map(|key| {
+                    let (score, bbox) = best_per_frame[key];
+                    let timestamp = self
+                        .keyframes
+                        .get(key)
+                        .map(|f| f.timestamp)
+                        .unwrap_or_default();
+                    RankedObject {
+                        video_id: key.0,
+                        frame_index: key.1,
+                        timestamp,
+                        score,
+                        bbox,
+                    }
+                })
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            ranked.truncate(self.config.output_frames);
+            ranked
+        };
+        timings.rerank_seconds = if self.config.enable_rerank {
+            rerank_start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        };
+
+        Ok(QueryResult {
+            query: text.to_string(),
+            reranked_frames: if self.config.enable_rerank {
+                frame_order.len()
+            } else {
+                0
+            },
+            frames,
+            fast_search_candidates,
+            timings,
+            search_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_index::IndexKind;
+    use lovo_video::{DatasetConfig, DatasetKind};
+
+    fn bellevue(frames: usize) -> VideoCollection {
+        VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_frames_per_video(frames)
+                .with_seed(11),
+        )
+    }
+
+    #[test]
+    fn build_and_query_end_to_end() {
+        let videos = bellevue(240);
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        assert!(lovo.indexed_patches() > 0);
+        assert!(lovo.storage_bytes() > 0);
+
+        let result = lovo.query("a red car driving in the center of the road").unwrap();
+        assert!(!result.frames.is_empty());
+        assert!(result.frames.len() <= lovo.config().output_frames);
+        assert!(result.fast_search_candidates > 0);
+        // Scores sorted descending.
+        for pair in result.frames.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        assert!(result.timings.total_seconds() > 0.0);
+        assert!(result.timings.rerank_seconds > 0.0);
+    }
+
+    #[test]
+    fn top_ranked_frame_contains_the_queried_object() {
+        let videos = bellevue(400);
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let query_text = "a red car driving in the center of the road";
+        let result = lovo.query(query_text).unwrap();
+        let constraints = lovo_encoder::TextEncoder::parse(query_text);
+
+        // At least one of the top-3 frames must contain an object satisfying
+        // the query's ground-truth constraints.
+        let hit = result.frames.iter().take(3).any(|ranked| {
+            videos.videos[ranked.video_id as usize].frames[ranked.frame_index as usize]
+                .objects
+                .iter()
+                .any(|o| constraints.matches(&o.attributes))
+        });
+        assert!(hit, "no relevant object in the top-3 frames");
+    }
+
+    #[test]
+    fn rerank_ablation_skips_stage_two() {
+        let videos = bellevue(180);
+        let lovo = Lovo::build(&videos, LovoConfig::ablation_without_rerank()).unwrap();
+        let result = lovo.query("a bus driving on the road").unwrap();
+        assert_eq!(result.reranked_frames, 0);
+        assert_eq!(result.timings.rerank_seconds, 0.0);
+        assert!(!result.frames.is_empty());
+    }
+
+    #[test]
+    fn brute_force_ablation_probes_every_vector() {
+        let videos = bellevue(180);
+        let anns = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let brute = Lovo::build(&videos, LovoConfig::ablation_without_anns()).unwrap();
+        let q = "a red car driving in the center of the road";
+        let anns_result = anns.query(q).unwrap();
+        let brute_result = brute.query(q).unwrap();
+        assert!(brute_result.search_stats.vectors_scored >= brute.indexed_patches());
+        assert!(
+            anns_result.search_stats.vectors_scored < brute_result.search_stats.vectors_scored,
+            "ANNS should probe fewer vectors ({} vs {})",
+            anns_result.search_stats.vectors_scored,
+            brute_result.search_stats.vectors_scored
+        );
+    }
+
+    #[test]
+    fn hnsw_index_variant_works() {
+        let videos = bellevue(150);
+        let lovo = Lovo::build(
+            &videos,
+            LovoConfig::default().with_index_kind(IndexKind::Hnsw),
+        )
+        .unwrap();
+        let result = lovo.query("a bus driving on the road").unwrap();
+        assert!(!result.frames.is_empty());
+    }
+
+    #[test]
+    fn query_with_smaller_k_reduces_candidates() {
+        let videos = bellevue(240);
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let small = lovo.query_with_k("a red car on the road", 10).unwrap();
+        let large = lovo.query_with_k("a red car on the road", 200).unwrap();
+        assert!(small.fast_search_candidates <= 10);
+        assert!(large.fast_search_candidates <= 200);
+        assert!(large.fast_search_candidates >= small.fast_search_candidates);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_build() {
+        let videos = bellevue(60);
+        let mut config = LovoConfig::default();
+        config.text.class_dim = 8;
+        assert!(Lovo::build(&videos, config).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! The Video Summary module (§IV): key-frame extraction, visual encoding, and
+//! vector-collection construction.
+//!
+//! Summarization is query-agnostic and happens once per video collection.
+//! Each selected key frame is encoded into per-patch class embeddings and
+//! predicted boxes; every patch becomes one row of the vector collection with
+//! a globally unique patch id, and its metadata row (video, frame, patch
+//! index, box, timestamp) goes to the relational store. Encoding is spread
+//! over a small crossbeam thread scope so multi-core machines ingest faster;
+//! the output is deterministic regardless of thread count because patch ids
+//! are assigned from the frame's position, not from completion order.
+
+use crate::config::LovoConfig;
+use crate::{LovoError, Result};
+use lovo_encoder::{FrameEncoding, VisualEncoder};
+use lovo_store::{PatchRecord, VectorDatabase};
+use lovo_video::keyframe::KeyframeExtractor;
+use lovo_video::{Frame, VideoCollection};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Name of the vector collection LOVO stores patch embeddings in.
+pub const PATCH_COLLECTION: &str = "lovo_patches";
+
+/// Statistics of one ingestion run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Total frames in the input collection.
+    pub total_frames: usize,
+    /// Key frames selected for encoding.
+    pub key_frames: usize,
+    /// Patch embeddings inserted into the vector collection.
+    pub patches_indexed: usize,
+    /// Wall-clock seconds spent extracting key frames.
+    pub keyframe_seconds: f64,
+    /// Wall-clock seconds spent encoding frames (visual encoder).
+    pub encoding_seconds: f64,
+    /// Wall-clock seconds spent inserting + building the index.
+    pub indexing_seconds: f64,
+}
+
+impl IngestStats {
+    /// Total processing time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.keyframe_seconds + self.encoding_seconds + self.indexing_seconds
+    }
+}
+
+/// A key frame retained for query-time rerank, addressed by `(video, frame)`.
+pub type KeyframeMap = HashMap<(u32, u32), Frame>;
+
+/// The video-summary pipeline.
+pub struct VideoSummarizer {
+    encoder: VisualEncoder,
+    extractor: KeyframeExtractor,
+    min_objectness: f32,
+    index_kind: lovo_index::IndexKind,
+}
+
+impl VideoSummarizer {
+    /// Creates a summarizer from the system configuration.
+    pub fn new(config: &LovoConfig) -> Result<Self> {
+        Ok(Self {
+            encoder: VisualEncoder::new(config.visual)?,
+            extractor: KeyframeExtractor::new(config.keyframe_policy),
+            min_objectness: config.min_objectness,
+            index_kind: config.index_kind,
+        })
+    }
+
+    /// Borrow the underlying visual encoder (the query engine shares its
+    /// attribute space).
+    pub fn encoder(&self) -> &VisualEncoder {
+        &self.encoder
+    }
+
+    /// Runs the full summary pipeline: key-frame extraction, encoding, and
+    /// insertion into `database`. Returns ingestion statistics and the map of
+    /// retained key frames used later by the rerank stage.
+    pub fn ingest(
+        &self,
+        videos: &VideoCollection,
+        database: &VectorDatabase,
+    ) -> Result<(IngestStats, KeyframeMap)> {
+        let mut stats = IngestStats {
+            total_frames: videos.total_frames(),
+            ..Default::default()
+        };
+
+        // --- key-frame extraction (§IV-A) ---
+        let keyframe_start = Instant::now();
+        let mut selected: Vec<(u32, &Frame)> = Vec::new();
+        for video in &videos.videos {
+            for idx in self.extractor.select_indices(&video.frames) {
+                selected.push((video.id, &video.frames[idx]));
+            }
+        }
+        stats.key_frames = selected.len();
+        stats.keyframe_seconds = keyframe_start.elapsed().as_secs_f64();
+
+        // --- visual encoding (§IV-B, §IV-C) ---
+        let encode_start = Instant::now();
+        let encodings = self.encode_parallel(&selected)?;
+        stats.encoding_seconds = encode_start.elapsed().as_secs_f64();
+
+        // --- vector collection + metadata construction (§IV-D, §V-B) ---
+        let index_start = Instant::now();
+        if !database.has_collection(PATCH_COLLECTION) {
+            database.create_collection(
+                PATCH_COLLECTION,
+                lovo_store::CollectionConfig::new(self.encoder.config().class_dim)
+                    .with_index_kind(self.index_kind),
+            )?;
+        }
+        let mut keyframes: KeyframeMap = HashMap::with_capacity(selected.len());
+        for ((video_id, frame), encoding) in selected.iter().zip(encodings.iter()) {
+            keyframes.insert((*video_id, frame.index as u32), (*frame).clone());
+            for patch in &encoding.patches {
+                if patch.objectness < self.min_objectness {
+                    continue;
+                }
+                let patch_id = patch_id(*video_id, frame.index as u32, patch.patch_index);
+                let record = PatchRecord {
+                    patch_id,
+                    video_id: *video_id,
+                    frame_index: frame.index as u32,
+                    patch_index: patch.patch_index,
+                    bbox: (
+                        patch.predicted_box.x,
+                        patch.predicted_box.y,
+                        patch.predicted_box.w,
+                        patch.predicted_box.h,
+                    ),
+                    timestamp: frame.timestamp,
+                };
+                database.insert_patch(PATCH_COLLECTION, &patch.class_embedding, record)?;
+                stats.patches_indexed += 1;
+            }
+        }
+        if stats.patches_indexed == 0 {
+            return Err(LovoError::InvalidState(
+                "ingestion produced no patch embeddings (empty collection?)".into(),
+            ));
+        }
+        database.build_collection(PATCH_COLLECTION)?;
+        stats.indexing_seconds = index_start.elapsed().as_secs_f64();
+
+        Ok((stats, keyframes))
+    }
+
+    /// Encodes the selected key frames, splitting the work across a small
+    /// crossbeam scope when more than one CPU is available.
+    fn encode_parallel(&self, selected: &[(u32, &Frame)]) -> Result<Vec<FrameEncoding>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4)
+            .max(1);
+        if workers == 1 || selected.len() < 32 {
+            return selected
+                .iter()
+                .map(|(_, frame)| self.encoder.encode_frame(frame).map_err(LovoError::from))
+                .collect();
+        }
+        let chunk_size = selected.len().div_ceil(workers);
+        let chunks: Vec<&[(u32, &Frame)]> = selected.chunks(chunk_size).collect();
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|(_, frame)| self.encoder.encode_frame(frame))
+                            .collect::<std::result::Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("encoder worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut encodings = Vec::with_capacity(selected.len());
+        for chunk_result in results {
+            encodings.extend(chunk_result.map_err(LovoError::from)?);
+        }
+        Ok(encodings)
+    }
+}
+
+/// Globally unique patch id: video (high bits), frame, patch position.
+pub fn patch_id(video_id: u32, frame_index: u32, patch_index: u32) -> u64 {
+    (u64::from(video_id) << 44) | (u64::from(frame_index) << 12) | u64::from(patch_index & 0xfff)
+}
+
+/// Inverse of [`patch_id`].
+pub fn split_patch_id(id: u64) -> (u32, u32, u32) {
+    (
+        (id >> 44) as u32,
+        ((id >> 12) & 0xffff_ffff) as u32,
+        (id & 0xfff) as u32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_video::{DatasetConfig, DatasetKind};
+
+    fn small_collection() -> VideoCollection {
+        VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_frames_per_video(90)
+                .with_seed(5),
+        )
+    }
+
+    #[test]
+    fn patch_id_round_trips() {
+        let id = patch_id(3, 70_000, 39);
+        assert_eq!(split_patch_id(id), (3, 70_000, 39));
+        let id2 = patch_id(0, 0, 0);
+        assert_eq!(split_patch_id(id2), (0, 0, 0));
+    }
+
+    #[test]
+    fn patch_ids_are_unique_across_frames_and_patches() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for video in 0..3u32 {
+            for frame in 0..100u32 {
+                for patch in 0..40u32 {
+                    assert!(seen.insert(patch_id(video, frame, patch)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_populates_database_and_keyframes() {
+        let videos = small_collection();
+        let config = LovoConfig::default();
+        let summarizer = VideoSummarizer::new(&config).unwrap();
+        let db = VectorDatabase::new();
+        let (stats, keyframes) = summarizer.ingest(&videos, &db).unwrap();
+        assert_eq!(stats.total_frames, videos.total_frames());
+        assert!(stats.key_frames > 0 && stats.key_frames <= stats.total_frames);
+        assert!(stats.patches_indexed >= stats.key_frames);
+        assert_eq!(keyframes.len(), stats.key_frames);
+        assert_eq!(db.metadata_rows(), stats.patches_indexed);
+        assert!(stats.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn keyframe_policy_reduces_indexed_patches() {
+        let videos = small_collection();
+        let db_kf = VectorDatabase::new();
+        let db_all = VectorDatabase::new();
+        let with_kf = VideoSummarizer::new(&LovoConfig::default()).unwrap();
+        let without_kf =
+            VideoSummarizer::new(&LovoConfig::ablation_without_keyframe()).unwrap();
+        let (kf_stats, _) = with_kf.ingest(&videos, &db_kf).unwrap();
+        let (all_stats, _) = without_kf.ingest(&videos, &db_all).unwrap();
+        assert!(all_stats.key_frames > kf_stats.key_frames);
+        assert!(all_stats.patches_indexed > kf_stats.patches_indexed);
+    }
+
+    #[test]
+    fn objectness_filter_shrinks_collection() {
+        let videos = small_collection();
+        let mut config = LovoConfig::default();
+        config.min_objectness = 0.05;
+        let filtered = VideoSummarizer::new(&config).unwrap();
+        let db_filtered = VectorDatabase::new();
+        let (filtered_stats, _) = filtered.ingest(&videos, &db_filtered).unwrap();
+
+        let unfiltered = VideoSummarizer::new(&LovoConfig::default()).unwrap();
+        let db_all = VectorDatabase::new();
+        let (all_stats, _) = unfiltered.ingest(&videos, &db_all).unwrap();
+        assert!(filtered_stats.patches_indexed < all_stats.patches_indexed);
+    }
+}

@@ -1,0 +1,370 @@
+//! Simulated predefined-class detectors and attribute classifiers.
+//!
+//! The baseline systems the paper compares against (VOCAL, MIRIS, FiGO) are
+//! built on conventional detection models trained on fixed label sets
+//! (MSCOCO). This module provides their stand-ins:
+//!
+//! * [`SimulatedDetector`] — a YOLO-style detector that recognizes only the
+//!   predefined labels ([`lovo_video::ObjectClass::coco_label`]), misses a
+//!   configurable fraction of objects, jitters boxes, and occasionally emits
+//!   false positives. Crucially, an `Suv` is reported as a plain `"car"` and
+//!   attribute details (colour, relations) are invisible to it — the exact
+//!   limitation that motivates LOVO (§II).
+//! * [`AttributeClassifier`] — the auxiliary per-object classifier a QD-search
+//!   system would train/apply for queries with novel attributes ("red car"):
+//!   it predicts colour / size / activity with configurable accuracy, but has
+//!   no notion of relations or open-vocabulary descriptions.
+//!
+//! Both carry a modeled per-frame inference cost so the evaluation harness can
+//! report end-to-end latency shaped like the paper's testbed (our substitution
+//! for running real GPU models; see DESIGN.md).
+
+use lovo_tensor::init::rng_for;
+use lovo_video::bbox::BoundingBox;
+use lovo_video::object::{Activity, Color, Location, SizeClass};
+use lovo_video::scene::{Frame, SceneObject};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One detection emitted by the simulated detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predefined-class label ("car", "bus", "person", ...).
+    pub label: String,
+    /// Predicted bounding box.
+    pub bbox: BoundingBox,
+    /// Detector confidence in `[0, 1]`.
+    pub confidence: f32,
+    /// Index of the ground-truth object this detection came from, if any
+    /// (false positives have `None`). Only the simulation layer knows this;
+    /// baselines never read it for decision making, only the evaluation does.
+    pub source_object: Option<usize>,
+}
+
+/// Configuration of the simulated detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Probability of missing an object that is in the label set.
+    pub miss_rate: f32,
+    /// Expected number of false positives per frame.
+    pub false_positives_per_frame: f32,
+    /// Box jitter amplitude in pixels.
+    pub box_noise: f32,
+    /// Modeled inference cost per frame in milliseconds (used by the latency
+    /// model; the simulation itself runs far faster).
+    pub cost_per_frame_ms: f64,
+    /// Seed for the detector's error process.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            miss_rate: 0.08,
+            false_positives_per_frame: 0.05,
+            box_noise: 6.0,
+            cost_per_frame_ms: 25.0,
+            seed: 0xdec0,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A faster, less accurate detector (FiGO's ensemble includes such tiers).
+    pub fn fast() -> Self {
+        Self {
+            miss_rate: 0.2,
+            false_positives_per_frame: 0.15,
+            box_noise: 14.0,
+            cost_per_frame_ms: 8.0,
+            seed: 0xdec1,
+        }
+    }
+
+    /// A slower, more accurate detector.
+    pub fn accurate() -> Self {
+        Self {
+            miss_rate: 0.03,
+            false_positives_per_frame: 0.02,
+            box_noise: 3.0,
+            cost_per_frame_ms: 60.0,
+            seed: 0xdec2,
+        }
+    }
+}
+
+/// A simulated predefined-class (MSCOCO-style) detector.
+#[derive(Debug, Clone)]
+pub struct SimulatedDetector {
+    config: DetectorConfig,
+}
+
+impl SimulatedDetector {
+    /// Creates a detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Modeled per-frame inference cost in milliseconds.
+    pub fn cost_per_frame_ms(&self) -> f64 {
+        self.config.cost_per_frame_ms
+    }
+
+    /// Runs detection on one frame.
+    pub fn detect(&self, frame: &Frame) -> Vec<Detection> {
+        let mut rng = rng_for(self.config.seed, &format!("det.frame.{}", frame.index));
+        let mut detections = Vec::new();
+        for (i, obj) in frame.objects.iter().enumerate() {
+            let Some(label) = obj.attributes.class.coco_label() else {
+                continue; // outside the predefined label set
+            };
+            if rng.gen_range(0.0f32..1.0) < self.config.miss_rate {
+                continue; // missed detection
+            }
+            let n = self.config.box_noise;
+            let bbox = BoundingBox::new(
+                obj.bbox.x + rng.gen_range(-n..=n),
+                obj.bbox.y + rng.gen_range(-n..=n),
+                obj.bbox.w * rng.gen_range(0.92f32..1.08),
+                obj.bbox.h * rng.gen_range(0.92f32..1.08),
+            )
+            .clamped(frame.width as f32, frame.height as f32);
+            let confidence = (0.95 - self.config.miss_rate * 0.5 + rng.gen_range(-0.1f32..0.05))
+                .clamp(0.05, 0.99);
+            detections.push(Detection {
+                label: label.to_string(),
+                bbox,
+                confidence,
+                source_object: Some(i),
+            });
+        }
+        // False positives: phantom boxes with a random predefined label.
+        if rng.gen_range(0.0f32..1.0) < self.config.false_positives_per_frame {
+            let labels = ["car", "person", "truck", "bus"];
+            let label = labels[rng.gen_range(0..labels.len())];
+            let w = rng.gen_range(40.0f32..200.0);
+            let h = rng.gen_range(40.0f32..150.0);
+            detections.push(Detection {
+                label: label.to_string(),
+                bbox: BoundingBox::new(
+                    rng.gen_range(0.0..(frame.width as f32 - w).max(1.0)),
+                    rng.gen_range(0.0..(frame.height as f32 - h).max(1.0)),
+                    w,
+                    h,
+                )
+                .clamped(frame.width as f32, frame.height as f32),
+                confidence: rng.gen_range(0.2f32..0.5),
+                source_object: None,
+            });
+        }
+        detections
+    }
+}
+
+/// Attributes predicted by the QD-search auxiliary classifier for one object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedAttributes {
+    /// Predicted colour.
+    pub color: Color,
+    /// Predicted size.
+    pub size: SizeClass,
+    /// Predicted activity.
+    pub activity: Activity,
+    /// Predicted location.
+    pub location: Location,
+}
+
+/// Simulated attribute classifier applied on top of detections by QD-search
+/// baselines (their "specialized models").
+#[derive(Debug, Clone)]
+pub struct AttributeClassifier {
+    /// Probability that each predicted facet equals the ground truth.
+    pub accuracy: f32,
+    /// Modeled cost per classified object in milliseconds.
+    pub cost_per_object_ms: f64,
+    /// Seed of the error process.
+    pub seed: u64,
+}
+
+impl Default for AttributeClassifier {
+    fn default() -> Self {
+        Self {
+            accuracy: 0.85,
+            cost_per_object_ms: 6.0,
+            seed: 0xc1a5,
+        }
+    }
+}
+
+impl AttributeClassifier {
+    /// Predicts the facet attributes of a detected object. With probability
+    /// `1 - accuracy` per facet, a different value is returned.
+    pub fn classify(&self, frame_index: usize, object_index: usize, object: &SceneObject) -> PredictedAttributes {
+        let mut rng = rng_for(
+            self.seed,
+            &format!("attr.{frame_index}.{object_index}"),
+        );
+        let truth = &object.attributes;
+        let flip = |rng: &mut rand::rngs::SmallRng| rng.gen_range(0.0f32..1.0) > self.accuracy;
+        let color = if flip(&mut rng) {
+            Color::ALL[rng.gen_range(0..Color::ALL.len())]
+        } else {
+            truth.color
+        };
+        let size = if flip(&mut rng) {
+            SizeClass::ALL[rng.gen_range(0..SizeClass::ALL.len())]
+        } else {
+            truth.size
+        };
+        let activity = if flip(&mut rng) {
+            Activity::ALL[rng.gen_range(0..Activity::ALL.len())]
+        } else {
+            truth.activity
+        };
+        let location = if flip(&mut rng) {
+            Location::ALL[rng.gen_range(0..Location::ALL.len())]
+        } else {
+            truth.location
+        };
+        PredictedAttributes {
+            color,
+            size,
+            activity,
+            location,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_video::object::{ObjectAttributes, ObjectClass};
+    use lovo_video::scene::TrackId;
+
+    fn frame_with_objects(classes: &[ObjectClass]) -> Frame {
+        let mut f = Frame::empty(0, 0.0, 1280, 720);
+        for (i, &class) in classes.iter().enumerate() {
+            f.objects.push(SceneObject {
+                track: TrackId(i as u64),
+                attributes: ObjectAttributes::simple(class).with_color(Color::Red),
+                bbox: BoundingBox::new(100.0 + i as f32 * 200.0, 200.0, 150.0, 90.0),
+                velocity: (0.0, 0.0),
+            });
+        }
+        f
+    }
+
+    #[test]
+    fn detects_predefined_classes_only() {
+        let det = SimulatedDetector::new(DetectorConfig {
+            miss_rate: 0.0,
+            false_positives_per_frame: 0.0,
+            ..DetectorConfig::default()
+        });
+        let frame = frame_with_objects(&[
+            ObjectClass::Car,
+            ObjectClass::Suv,
+            ObjectClass::StreetFurniture,
+        ]);
+        let detections = det.detect(&frame);
+        assert_eq!(detections.len(), 2, "street furniture must not be detected");
+        assert!(detections.iter().all(|d| d.label == "car"));
+    }
+
+    #[test]
+    fn suv_reported_as_car() {
+        let det = SimulatedDetector::new(DetectorConfig {
+            miss_rate: 0.0,
+            false_positives_per_frame: 0.0,
+            ..DetectorConfig::default()
+        });
+        let frame = frame_with_objects(&[ObjectClass::Suv]);
+        let detections = det.detect(&frame);
+        assert_eq!(detections[0].label, "car");
+    }
+
+    #[test]
+    fn boxes_are_close_to_ground_truth() {
+        let det = SimulatedDetector::new(DetectorConfig::default());
+        let frame = frame_with_objects(&[ObjectClass::Bus, ObjectClass::Person]);
+        for d in det.detect(&frame) {
+            if let Some(src) = d.source_object {
+                assert!(d.bbox.iou(&frame.objects[src].bbox) > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn miss_rate_reduces_detections() {
+        let eager = SimulatedDetector::new(DetectorConfig {
+            miss_rate: 0.0,
+            false_positives_per_frame: 0.0,
+            ..DetectorConfig::default()
+        });
+        let lossy = SimulatedDetector::new(DetectorConfig {
+            miss_rate: 0.9,
+            false_positives_per_frame: 0.0,
+            ..DetectorConfig::default()
+        });
+        let mut eager_total = 0usize;
+        let mut lossy_total = 0usize;
+        for i in 0..50 {
+            let mut frame = frame_with_objects(&[ObjectClass::Car, ObjectClass::Person]);
+            frame.index = i;
+            eager_total += eager.detect(&frame).len();
+            lossy_total += lossy.detect(&frame).len();
+        }
+        assert!(lossy_total < eager_total / 2);
+    }
+
+    #[test]
+    fn detection_is_deterministic_per_frame() {
+        let det = SimulatedDetector::new(DetectorConfig::default());
+        let frame = frame_with_objects(&[ObjectClass::Car]);
+        assert_eq!(det.detect(&frame), det.detect(&frame));
+    }
+
+    #[test]
+    fn detector_tiers_trade_cost_for_accuracy() {
+        let fast = DetectorConfig::fast();
+        let accurate = DetectorConfig::accurate();
+        assert!(fast.cost_per_frame_ms < accurate.cost_per_frame_ms);
+        assert!(fast.miss_rate > accurate.miss_rate);
+    }
+
+    #[test]
+    fn attribute_classifier_is_mostly_right() {
+        let clf = AttributeClassifier {
+            accuracy: 0.9,
+            ..Default::default()
+        };
+        let frame = frame_with_objects(&[ObjectClass::Car; 1]);
+        let mut correct = 0;
+        let trials = 200;
+        for i in 0..trials {
+            let predicted = clf.classify(i, 0, &frame.objects[0]);
+            if predicted.color == Color::Red {
+                correct += 1;
+            }
+        }
+        let rate = correct as f32 / trials as f32;
+        assert!(rate > 0.8, "colour accuracy {rate}");
+        // With accuracy 0 the classifier should often be wrong.
+        let broken = AttributeClassifier {
+            accuracy: 0.0,
+            ..Default::default()
+        };
+        let mut wrong = 0;
+        for i in 0..trials {
+            if broken.classify(i, 0, &frame.objects[0]).color != Color::Red {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > trials / 2);
+    }
+}

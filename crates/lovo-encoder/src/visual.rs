@@ -1,0 +1,456 @@
+//! The decoupled visual encoder and object-localization heads (§IV-B, §IV-C).
+//!
+//! A key frame is divided into an `S x S` patch grid; each patch becomes a
+//! token. Tokens pass through genuine transformer encoder layers (multi-head
+//! self-attention + MLP with pre-layer-norm residuals from `lovo-tensor`),
+//! after which two heads produce per-patch outputs exactly as the paper
+//! describes:
+//!
+//! * the **box head** predicts a bounding box as an offset from the patch's
+//!   default (anchor) box;
+//! * the **classification head** projects the token into the lower-dimensional
+//!   class-embedding space `D'` that the vector database indexes.
+//!
+//! Because no pre-trained weights exist in this environment, the semantic
+//! content of a patch token is grounded in the attributes of the object that
+//! covers the patch (see [`crate::space`]), and the trained box head is
+//! simulated by anchoring the prediction to the covering object's ground-truth
+//! box with noise. The transformer layers, projections and MLPs still run for
+//! real, so compute scaling (frames x patches x layers) matches the real
+//! system's shape.
+
+use crate::space::{AttributeSpace, DetailLevel};
+use crate::{EncoderError, Result};
+use lovo_tensor::init::rng_for;
+use lovo_tensor::ops::l2_normalize;
+use lovo_tensor::{LayerNorm, Linear, Matrix, Mlp, MultiHeadAttention};
+use lovo_video::bbox::BoundingBox;
+use lovo_video::scene::Frame;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the visual encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VisualEncoderConfig {
+    /// Internal token dimension `D` (the paper's ViT-B/32 uses 768; the
+    /// reproduction defaults to 64 to keep laptop-scale runs fast).
+    pub token_dim: usize,
+    /// Class-embedding dimension `D'` indexed by the vector database.
+    pub class_dim: usize,
+    /// Patch size `S` in pixels.
+    pub patch_size: u32,
+    /// Number of transformer encoder layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Fraction of the class embedding contributed by the transformer context
+    /// (the rest comes from the attribute grounding).
+    pub context_mix: f32,
+    /// Amplitude of the per-patch observation noise.
+    pub noise: f32,
+    /// Weight-initialization / noise seed.
+    pub seed: u64,
+}
+
+impl Default for VisualEncoderConfig {
+    fn default() -> Self {
+        Self {
+            token_dim: 64,
+            class_dim: 32,
+            patch_size: 160,
+            layers: 2,
+            heads: 4,
+            context_mix: 0.2,
+            noise: 0.06,
+            seed: 0x0715,
+        }
+    }
+}
+
+impl VisualEncoderConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.token_dim == 0 || self.class_dim == 0 {
+            return Err(EncoderError::InvalidConfig(
+                "token_dim and class_dim must be positive".into(),
+            ));
+        }
+        if self.token_dim % self.heads != 0 {
+            return Err(EncoderError::InvalidConfig(format!(
+                "token_dim {} not divisible by heads {}",
+                self.token_dim, self.heads
+            )));
+        }
+        if self.patch_size == 0 {
+            return Err(EncoderError::InvalidConfig("patch_size must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.context_mix) {
+            return Err(EncoderError::InvalidConfig(
+                "context_mix must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-patch output of the encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatchEncoding {
+    /// Row-major patch index within the frame grid.
+    pub patch_index: u32,
+    /// `(row, col)` grid position.
+    pub grid: (u32, u32),
+    /// The patch's image region (the anchor / default box).
+    pub region: BoundingBox,
+    /// The class embedding `c_jk` (dimension `D'`), L2-normalized.
+    pub class_embedding: Vec<f32>,
+    /// The predicted bounding box `b_jk`.
+    pub predicted_box: BoundingBox,
+    /// How object-like the patch is (fraction of the patch covered by its
+    /// dominant object); background patches score 0.
+    pub objectness: f32,
+}
+
+/// All patch encodings of one key frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameEncoding {
+    /// Index of the frame within its video.
+    pub frame_index: usize,
+    /// Patch grid `(rows, cols)`.
+    pub grid: (u32, u32),
+    /// Per-patch encodings, row-major.
+    pub patches: Vec<PatchEncoding>,
+}
+
+impl FrameEncoding {
+    /// Number of patches.
+    pub fn len(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// True when the frame produced no patches (degenerate dimensions).
+    pub fn is_empty(&self) -> bool {
+        self.patches.is_empty()
+    }
+}
+
+/// The visual encoder.
+pub struct VisualEncoder {
+    config: VisualEncoderConfig,
+    space: AttributeSpace,
+    /// Projects attribute-grounded class-space vectors up to token space.
+    input_proj: Linear,
+    /// Transformer encoder layers: (norm1, attention, norm2, mlp).
+    layers: Vec<(LayerNorm, MultiHeadAttention, LayerNorm, Mlp)>,
+    /// Classification head: token space down to class-embedding space.
+    class_head: Linear,
+    /// Box head MLP producing 4 offsets per token.
+    box_head: Mlp,
+}
+
+impl VisualEncoder {
+    /// Creates an encoder with deterministic weights derived from the config seed.
+    pub fn new(config: VisualEncoderConfig) -> Result<Self> {
+        config.validate()?;
+        let space = AttributeSpace::new(config.class_dim, config.seed);
+        let input_proj = Linear::new(config.class_dim, config.token_dim, config.seed, "vis.input");
+        let layers = (0..config.layers)
+            .map(|i| {
+                Ok((
+                    LayerNorm::new(config.token_dim),
+                    MultiHeadAttention::new(
+                        config.token_dim,
+                        config.heads,
+                        config.seed,
+                        &format!("vis.layer{i}.attn"),
+                    )?,
+                    LayerNorm::new(config.token_dim),
+                    Mlp::new(
+                        config.token_dim,
+                        config.token_dim * 2,
+                        config.token_dim,
+                        config.seed,
+                        &format!("vis.layer{i}.mlp"),
+                    ),
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let class_head = Linear::new(config.token_dim, config.class_dim, config.seed, "vis.class_head");
+        let box_head = Mlp::new(config.token_dim, config.token_dim, 4, config.seed, "vis.box_head");
+        Ok(Self {
+            config,
+            space,
+            input_proj,
+            layers,
+            class_head,
+            box_head,
+        })
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &VisualEncoderConfig {
+        &self.config
+    }
+
+    /// The shared attribute space (the text encoder must use the same one).
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// Patch grid `(rows, cols)` for a frame of the given dimensions.
+    pub fn grid_for(&self, width: u32, height: u32) -> (u32, u32) {
+        let s = self.config.patch_size;
+        (height.div_ceil(s), width.div_ceil(s))
+    }
+
+    /// Number of patches produced per frame of the given dimensions.
+    pub fn patches_per_frame(&self, width: u32, height: u32) -> usize {
+        let (rows, cols) = self.grid_for(width, height);
+        rows as usize * cols as usize
+    }
+
+    /// Encodes one key frame into per-patch class embeddings and boxes.
+    pub fn encode_frame(&self, frame: &Frame) -> Result<FrameEncoding> {
+        let (rows, cols) = self.grid_for(frame.width, frame.height);
+        let patch_count = rows as usize * cols as usize;
+        if patch_count == 0 {
+            return Ok(FrameEncoding {
+                frame_index: frame.index,
+                grid: (rows, cols),
+                patches: Vec::new(),
+            });
+        }
+        let s = self.config.patch_size as f32;
+
+        // 1. Build the raw patch tokens from what each patch "sees".
+        let mut raw_class_space: Vec<Vec<f32>> = Vec::with_capacity(patch_count);
+        let mut regions: Vec<BoundingBox> = Vec::with_capacity(patch_count);
+        let mut dominant: Vec<Option<(BoundingBox, f32)>> = Vec::with_capacity(patch_count);
+        let mut rng = rng_for(self.config.seed, &format!("vis.frame.{}", frame.index));
+        for row in 0..rows {
+            for col in 0..cols {
+                let region = BoundingBox::new(col as f32 * s, row as f32 * s, s, s)
+                    .clamped(frame.width as f32, frame.height as f32);
+                let hit = frame.objects_in_region(&region).into_iter().next();
+                let mut base = match &hit {
+                    Some((obj, _)) => self
+                        .space
+                        .embed_attributes(&obj.attributes, DetailLevel::Fine),
+                    None => self
+                        .space
+                        .background_embedding((row * cols + col) as usize % 7),
+                };
+                for v in &mut base {
+                    *v += rng.gen_range(-self.config.noise..=self.config.noise);
+                }
+                l2_normalize(&mut base);
+                raw_class_space.push(base);
+                dominant.push(hit.map(|(obj, coverage)| (obj.bbox, coverage)));
+                regions.push(region);
+            }
+        }
+
+        // 2. Project to token space and run the transformer encoder stack.
+        let raw = Matrix::from_rows(&raw_class_space).map_err(EncoderError::from)?;
+        let mut tokens = self.input_proj.forward(&raw)?;
+        // Additive positional encoding so attention can use spatial layout.
+        for idx in 0..patch_count {
+            let grid_row = idx / cols as usize;
+            let grid_col = idx % cols as usize;
+            let token = tokens.row_mut(idx);
+            for (d, v) in token.iter_mut().enumerate() {
+                let angle = (grid_row as f32 + 1.0) * 0.7 + (grid_col as f32 + 1.0) * 1.3
+                    + d as f32 * 0.05;
+                *v += 0.05 * angle.sin();
+            }
+        }
+        for (norm1, attn, norm2, mlp) in &self.layers {
+            let attended = attn.self_attention(&norm1.forward(&tokens)?)?;
+            tokens = tokens.add(&attended)?;
+            let expanded = mlp.forward(&norm2.forward(&tokens)?)?;
+            tokens = tokens.add(&expanded)?;
+        }
+
+        // 3. Heads: class embedding and box prediction per token.
+        let context = self.class_head.forward(&tokens)?;
+        let box_deltas = self.box_head.forward(&tokens)?;
+        let mut patches = Vec::with_capacity(patch_count);
+        for idx in 0..patch_count {
+            let mut class_embedding = raw_class_space[idx].clone();
+            let ctx_row = context.row(idx);
+            let mut ctx = ctx_row.to_vec();
+            l2_normalize(&mut ctx);
+            for (c, x) in class_embedding.iter_mut().zip(ctx.iter()) {
+                *c = (1.0 - self.config.context_mix) * *c + self.config.context_mix * x;
+            }
+            l2_normalize(&mut class_embedding);
+
+            let region = regions[idx];
+            let (predicted_box, objectness) = match dominant[idx] {
+                Some((object_box, coverage)) => {
+                    // Simulated trained box head: anchor refined toward the
+                    // covering object's box, with a small real-MLP perturbation
+                    // and observation noise.
+                    let deltas = box_deltas.row(idx);
+                    let jitter = self.config.noise * 40.0;
+                    let dx = deltas[0].tanh() * 4.0 + rng.gen_range(-jitter..=jitter);
+                    let dy = deltas[1].tanh() * 4.0 + rng.gen_range(-jitter..=jitter);
+                    let dw = 1.0 + deltas[2].tanh() * 0.05 + rng.gen_range(-0.05..=0.05);
+                    let dh = 1.0 + deltas[3].tanh() * 0.05 + rng.gen_range(-0.05..=0.05);
+                    let refined = BoundingBox::new(
+                        object_box.x + dx,
+                        object_box.y + dy,
+                        object_box.w * dw,
+                        object_box.h * dh,
+                    )
+                    .clamped(frame.width as f32, frame.height as f32);
+                    (refined, coverage.min(1.0))
+                }
+                None => (region, 0.0),
+            };
+
+            patches.push(PatchEncoding {
+                patch_index: idx as u32,
+                grid: ((idx / cols as usize) as u32, (idx % cols as usize) as u32),
+                region,
+                class_embedding,
+                predicted_box,
+                objectness,
+            });
+        }
+
+        Ok(FrameEncoding {
+            frame_index: frame.index,
+            grid: (rows, cols),
+            patches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_video::object::{Color, ObjectAttributes, ObjectClass};
+    use lovo_video::scene::{SceneObject, TrackId};
+
+    fn frame_with_car(index: usize) -> Frame {
+        let mut f = Frame::empty(index, 0.0, 1280, 720);
+        f.objects.push(SceneObject {
+            track: TrackId(1),
+            attributes: ObjectAttributes::simple(ObjectClass::Car).with_color(Color::Red),
+            bbox: BoundingBox::new(200.0, 300.0, 150.0, 80.0),
+            velocity: (5.0, 0.0),
+        });
+        f
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(VisualEncoderConfig::default().validate().is_ok());
+        let mut c = VisualEncoderConfig::default();
+        c.heads = 7;
+        assert!(c.validate().is_err());
+        c = VisualEncoderConfig::default();
+        c.patch_size = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn grid_covers_frame() {
+        let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+        assert_eq!(enc.grid_for(1280, 720), (5, 8));
+        assert_eq!(enc.patches_per_frame(1280, 720), 40);
+    }
+
+    #[test]
+    fn encode_frame_produces_normalized_embeddings() {
+        let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+        let encoding = enc.encode_frame(&frame_with_car(0)).unwrap();
+        assert_eq!(encoding.len(), 40);
+        for patch in &encoding.patches {
+            let norm: f32 = patch
+                .class_embedding
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
+            assert!((norm - 1.0).abs() < 1e-4);
+            assert_eq!(patch.class_embedding.len(), 32);
+        }
+    }
+
+    #[test]
+    fn patch_over_object_has_objectness_and_good_box() {
+        let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+        let frame = frame_with_car(0);
+        let encoding = enc.encode_frame(&frame).unwrap();
+        let object_box = frame.objects[0].bbox;
+        let covering: Vec<&PatchEncoding> = encoding
+            .patches
+            .iter()
+            .filter(|p| p.objectness > 0.0)
+            .collect();
+        assert!(!covering.is_empty(), "no patch covers the car");
+        let best = covering
+            .iter()
+            .max_by(|a, b| a.objectness.partial_cmp(&b.objectness).unwrap())
+            .unwrap();
+        assert!(
+            best.predicted_box.iou(&object_box) > 0.5,
+            "predicted box IoU too low: {}",
+            best.predicted_box.iou(&object_box)
+        );
+    }
+
+    #[test]
+    fn background_patches_have_zero_objectness() {
+        let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+        let frame = Frame::empty(0, 0.0, 1280, 720);
+        let encoding = enc.encode_frame(&frame).unwrap();
+        assert!(encoding.patches.iter().all(|p| p.objectness == 0.0));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+        let frame = frame_with_car(3);
+        assert_eq!(enc.encode_frame(&frame).unwrap(), enc.encode_frame(&frame).unwrap());
+    }
+
+    #[test]
+    fn object_patch_embedding_matches_query_direction() {
+        use crate::space::DetailLevel;
+        use lovo_tensor::ops::dot;
+        use lovo_video::query::QueryConstraints;
+
+        let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+        let frame = frame_with_car(0);
+        let encoding = enc.encode_frame(&frame).unwrap();
+        let best = encoding
+            .patches
+            .iter()
+            .max_by(|a, b| a.objectness.partial_cmp(&b.objectness).unwrap())
+            .unwrap();
+        let query = QueryConstraints {
+            class: Some(ObjectClass::Car),
+            color: Some(Color::Red),
+            ..Default::default()
+        };
+        let q = enc.space().embed_constraints(&query, DetailLevel::Coarse);
+        let bg = encoding
+            .patches
+            .iter()
+            .find(|p| p.objectness == 0.0)
+            .unwrap();
+        assert!(dot(&q, &best.class_embedding) > dot(&q, &bg.class_embedding));
+        assert!(dot(&q, &best.class_embedding) > 0.3);
+    }
+
+    #[test]
+    fn zero_sized_frame_is_handled() {
+        let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
+        let frame = Frame::empty(0, 0.0, 0, 0);
+        let encoding = enc.encode_frame(&frame).unwrap();
+        assert!(encoding.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # lovo-eval
+//!
+//! Evaluation harness for the LOVO reproduction (§VII):
+//!
+//! * [`metrics`] — average precision (AveP) with the IoU > 0.5 positive-match
+//!   rule, plus precision/recall helpers;
+//! * [`workloads`] — the Table II queries (Q1.1–Q4.4), the motivation queries
+//!   of Fig. 2, and the ActivityNet-QA extension queries of Table VI;
+//! * [`experiments`] — one runner per table/figure of the evaluation section,
+//!   each returning a printable [`experiments::Report`] whose rows mirror the
+//!   paper artifact. The `lovo-bench` binaries are thin wrappers around these
+//!   runners.
+//!
+//! Experiment scale: the runners default to laptop-scale dataset sizes so the
+//! full suite completes in minutes; every runner accepts a scale factor where
+//! the paper sweeps one.
+
+pub mod experiments;
+pub mod metrics;
+pub mod workloads;
+
+pub use experiments::Report;
+pub use metrics::{average_precision, GroundTruthIndex};
+pub use workloads::{extension_queries, motivation_queries, queries_for};

@@ -1,0 +1,249 @@
+//! Retrieval metrics (§VII-A).
+//!
+//! The paper measures Average Precision (AveP): retrieved objects are ranked
+//! by score, an object counts as a positive match when its IoU with a
+//! ground-truth box exceeds 0.5 (the MSCOCO rule), and AveP is the area under
+//! the precision–recall curve of that ranking.
+
+use lovo_baselines::RankedHit;
+use lovo_video::query::ObjectQuery;
+use lovo_video::VideoCollection;
+use std::collections::{HashMap, HashSet};
+
+/// Ground truth for one query over one video collection: for every frame that
+/// contains at least one matching object, the boxes of the matching objects.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruthIndex {
+    /// `(video, frame) -> matching ground-truth boxes`.
+    frames: HashMap<(u32, u32), Vec<lovo_video::BoundingBox>>,
+}
+
+impl GroundTruthIndex {
+    /// Builds the ground truth of `query` over `videos`.
+    pub fn build(videos: &VideoCollection, query: &ObjectQuery) -> Self {
+        let mut frames: HashMap<(u32, u32), Vec<lovo_video::BoundingBox>> = HashMap::new();
+        for video in &videos.videos {
+            for frame in &video.frames {
+                let boxes: Vec<lovo_video::BoundingBox> = frame
+                    .objects
+                    .iter()
+                    .filter(|o| query.constraints.matches(&o.attributes))
+                    .map(|o| o.bbox)
+                    .collect();
+                if !boxes.is_empty() {
+                    frames.insert((video.id, frame.index as u32), boxes);
+                }
+            }
+        }
+        Self { frames }
+    }
+
+    /// Number of positive frames.
+    pub fn positive_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when the collection contains no object matching the query.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether a ranked hit is a true positive: its frame contains a matching
+    /// object whose box overlaps the hit's box with IoU > 0.5.
+    pub fn is_match(&self, hit: &RankedHit) -> bool {
+        self.frames
+            .get(&(hit.video_id, hit.frame_index))
+            .map(|boxes| boxes.iter().any(|b| hit.bbox.iou(b) > 0.5))
+            .unwrap_or(false)
+    }
+}
+
+/// Average precision of a ranked hit list against the ground truth.
+///
+/// Duplicate frames after their first occurrence count as false positives
+/// (systems cannot inflate AveP by returning the same frame repeatedly). The
+/// normalizer is the number of positive frames capped at the list length, so a
+/// perfect ranking of `k` hits over a corpus with ≥ `k` positives scores 1.0.
+pub fn average_precision(
+    hits: &[RankedHit],
+    ground_truth: &GroundTruthIndex,
+) -> f32 {
+    if hits.is_empty() || ground_truth.is_empty() {
+        return 0.0;
+    }
+    let relevant = ground_truth.positive_frames().min(hits.len()).max(1) as f32;
+    let mut seen_frames: HashSet<(u32, u32)> = HashSet::new();
+    let mut true_positives = 0.0f32;
+    let mut ap = 0.0f32;
+    for (rank, hit) in hits.iter().enumerate() {
+        let first_time = seen_frames.insert((hit.video_id, hit.frame_index));
+        if first_time && ground_truth.is_match(hit) {
+            true_positives += 1.0;
+            ap += true_positives / (rank as f32 + 1.0);
+        }
+    }
+    (ap / relevant).min(1.0)
+}
+
+/// Precision at cut-off `k` (fraction of the first `k` hits that are matches).
+pub fn precision_at(hits: &[RankedHit], ground_truth: &GroundTruthIndex, k: usize) -> f32 {
+    if k == 0 {
+        return 0.0;
+    }
+    let considered = hits.iter().take(k);
+    let total = considered.clone().count();
+    if total == 0 {
+        return 0.0;
+    }
+    let matches = considered.filter(|h| ground_truth.is_match(h)).count();
+    matches as f32 / total as f32
+}
+
+/// Recall at cut-off `k` against the positive-frame count.
+pub fn recall_at(hits: &[RankedHit], ground_truth: &GroundTruthIndex, k: usize) -> f32 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let mut matched_frames: HashSet<(u32, u32)> = HashSet::new();
+    for hit in hits.iter().take(k) {
+        if seen.insert((hit.video_id, hit.frame_index)) && ground_truth.is_match(hit) {
+            matched_frames.insert((hit.video_id, hit.frame_index));
+        }
+    }
+    matched_frames.len() as f32 / ground_truth.positive_frames() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_video::bbox::BoundingBox;
+    use lovo_video::object::{Color, ObjectAttributes, ObjectClass};
+    use lovo_video::query::{QueryComplexity, QueryConstraints};
+    use lovo_video::scene::{SceneObject, TrackId};
+    use lovo_video::{DatasetConfig, DatasetKind, Frame, Video};
+
+    fn collection_with_red_cars() -> (VideoCollection, ObjectQuery) {
+        // 10 frames; frames 2, 5, 8 contain a red car at a known box.
+        let mut frames = Vec::new();
+        for i in 0..10usize {
+            let mut f = Frame::empty(i, i as f64, 1280, 720);
+            if i % 3 == 2 {
+                f.objects.push(SceneObject {
+                    track: TrackId(i as u64),
+                    attributes: ObjectAttributes::simple(ObjectClass::Car).with_color(Color::Red),
+                    bbox: BoundingBox::new(100.0, 100.0, 200.0, 100.0),
+                    velocity: (0.0, 0.0),
+                });
+            }
+            frames.push(f);
+        }
+        let videos = VideoCollection {
+            config: DatasetConfig::for_kind(DatasetKind::Bellevue),
+            videos: vec![Video { id: 0, frames }],
+        };
+        let query = ObjectQuery::new(
+            "T",
+            "a red car",
+            QueryConstraints {
+                class: Some(ObjectClass::Car),
+                color: Some(Color::Red),
+                ..Default::default()
+            },
+            QueryComplexity::Normal,
+        );
+        (videos, query)
+    }
+
+    fn hit(frame: u32, bbox: BoundingBox, score: f32) -> RankedHit {
+        RankedHit {
+            video_id: 0,
+            frame_index: frame,
+            bbox,
+            score,
+        }
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let (videos, query) = collection_with_red_cars();
+        let gt = GroundTruthIndex::build(&videos, &query);
+        assert_eq!(gt.positive_frames(), 3);
+        let target_box = BoundingBox::new(100.0, 100.0, 200.0, 100.0);
+        let hits = vec![
+            hit(2, target_box, 0.9),
+            hit(5, target_box, 0.8),
+            hit(8, target_box, 0.7),
+        ];
+        assert!((average_precision(&hits, &gt) - 1.0).abs() < 1e-5);
+        assert!((precision_at(&hits, &gt, 3) - 1.0).abs() < 1e-5);
+        assert!((recall_at(&hits, &gt, 3) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn wrong_frames_score_zero() {
+        let (videos, query) = collection_with_red_cars();
+        let gt = GroundTruthIndex::build(&videos, &query);
+        let hits = vec![
+            hit(0, BoundingBox::new(0.0, 0.0, 50.0, 50.0), 0.9),
+            hit(1, BoundingBox::new(0.0, 0.0, 50.0, 50.0), 0.8),
+        ];
+        assert_eq!(average_precision(&hits, &gt), 0.0);
+    }
+
+    #[test]
+    fn wrong_box_in_right_frame_is_not_a_match() {
+        let (videos, query) = collection_with_red_cars();
+        let gt = GroundTruthIndex::build(&videos, &query);
+        let hits = vec![hit(2, BoundingBox::new(900.0, 500.0, 50.0, 50.0), 0.9)];
+        assert_eq!(average_precision(&hits, &gt), 0.0);
+    }
+
+    #[test]
+    fn mixed_ranking_is_between_zero_and_one() {
+        let (videos, query) = collection_with_red_cars();
+        let gt = GroundTruthIndex::build(&videos, &query);
+        let target_box = BoundingBox::new(100.0, 100.0, 200.0, 100.0);
+        let good_first = vec![
+            hit(2, target_box, 0.9),
+            hit(0, target_box, 0.8),
+            hit(5, target_box, 0.7),
+        ];
+        let bad_first = vec![
+            hit(0, target_box, 0.9),
+            hit(2, target_box, 0.8),
+            hit(5, target_box, 0.7),
+        ];
+        let ap_good = average_precision(&good_first, &gt);
+        let ap_bad = average_precision(&bad_first, &gt);
+        assert!(ap_good > ap_bad, "{ap_good} vs {ap_bad}");
+        assert!(ap_good > 0.0 && ap_good < 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn duplicate_frames_do_not_inflate_score() {
+        let (videos, query) = collection_with_red_cars();
+        let gt = GroundTruthIndex::build(&videos, &query);
+        let target_box = BoundingBox::new(100.0, 100.0, 200.0, 100.0);
+        let duplicated = vec![
+            hit(2, target_box, 0.9),
+            hit(2, target_box, 0.85),
+            hit(2, target_box, 0.8),
+        ];
+        let unique = vec![
+            hit(2, target_box, 0.9),
+            hit(5, target_box, 0.85),
+            hit(8, target_box, 0.8),
+        ];
+        assert!(average_precision(&duplicated, &gt) < average_precision(&unique, &gt));
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let (videos, query) = collection_with_red_cars();
+        let gt = GroundTruthIndex::build(&videos, &query);
+        assert_eq!(average_precision(&[], &gt), 0.0);
+        assert_eq!(recall_at(&[], &gt, 5), 0.0);
+        assert_eq!(precision_at(&[], &gt, 0), 0.0);
+    }
+}

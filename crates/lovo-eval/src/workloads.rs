@@ -1,0 +1,371 @@
+//! The evaluation query workloads.
+//!
+//! * [`queries_for`] — the sixteen Table II queries, four per dataset
+//!   (Q1.1–Q4.4), each with its natural-language text and the ground-truth
+//!   attribute constraints the paper's annotators labelled by hand;
+//! * [`motivation_queries`] — the three complexity levels of the motivation
+//!   experiment (Fig. 2) on the Bellevue scenario;
+//! * [`extension_queries`] — the ActivityNet-QA yes/no questions of Table VI
+//!   (EQ1–EQ4).
+
+use lovo_video::object::{
+    Accessory, Activity, Color, Gender, Location, ObjectClass, Relation, SizeClass,
+};
+use lovo_video::query::{ObjectQuery, QueryComplexity, QueryConstraints};
+use lovo_video::DatasetKind;
+
+fn query(
+    id: &str,
+    text: &str,
+    constraints: QueryConstraints,
+    complexity: QueryComplexity,
+) -> ObjectQuery {
+    ObjectQuery::new(id, text, constraints, complexity)
+}
+
+/// The Table II queries for one dataset.
+pub fn queries_for(kind: DatasetKind) -> Vec<ObjectQuery> {
+    use QueryComplexity::{Complex, Normal, Simple};
+    match kind {
+        DatasetKind::Cityscapes => vec![
+            query(
+                "Q1.1",
+                "A person walking on the street.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Person),
+                    activity: Some(Activity::Walking),
+                    location: Some(Location::Sidewalk),
+                    ..Default::default()
+                },
+                Simple,
+            ),
+            query(
+                "Q1.2",
+                "A person in light-colored clothing walking while holding a dark bag.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Person),
+                    color: Some(Color::Light),
+                    activity: Some(Activity::Walking),
+                    accessories: vec![Accessory::DarkBag],
+                    ..Default::default()
+                },
+                Normal,
+            ),
+            query(
+                "Q1.3",
+                "A person riding a bicycle.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Bicyclist),
+                    activity: Some(Activity::RidingBicycle),
+                    ..Default::default()
+                },
+                Simple,
+            ),
+            query(
+                "Q1.4",
+                "A person riding a bicycle, wearing a black t-shirt and blue jeans.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Bicyclist),
+                    activity: Some(Activity::RidingBicycle),
+                    accessories: vec![Accessory::BlackTshirtBlueJeans],
+                    ..Default::default()
+                },
+                Complex,
+            ),
+        ],
+        DatasetKind::Bellevue => vec![
+            query(
+                "Q2.1",
+                "A red car driving in the center of the road.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Car),
+                    color: Some(Color::Red),
+                    location: Some(Location::RoadCenter),
+                    ..Default::default()
+                },
+                Normal,
+            ),
+            query(
+                "Q2.2",
+                "A red car side by side with another car, both positioned in the center of the road.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Car),
+                    color: Some(Color::Red),
+                    location: Some(Location::RoadCenter),
+                    relation: Some(Relation::SideBySideWith(ObjectClass::Car)),
+                    ..Default::default()
+                },
+                Complex,
+            ),
+            query(
+                "Q2.3",
+                "A bus driving on the road.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Bus),
+                    location: Some(Location::Road),
+                    ..Default::default()
+                },
+                Simple,
+            ),
+            query(
+                "Q2.4",
+                "A bus driving on the road with white roof and yellow-green body.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Bus),
+                    color: Some(Color::YellowGreen),
+                    accessories: vec![Accessory::WhiteRoof],
+                    ..Default::default()
+                },
+                Complex,
+            ),
+        ],
+        DatasetKind::Qvhighlights => vec![
+            query(
+                "Q3.1",
+                "A woman smiling sitting inside car.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Person),
+                    gender: Some(Gender::Woman),
+                    activity: Some(Activity::Sitting),
+                    location: Some(Location::InsideCar),
+                    ..Default::default()
+                },
+                Normal,
+            ),
+            query(
+                "Q3.2",
+                "A red-hair woman with white dress sitting inside a car.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Person),
+                    gender: Some(Gender::Woman),
+                    location: Some(Location::InsideCar),
+                    accessories: vec![Accessory::RedHair, Accessory::WhiteDress],
+                    ..Default::default()
+                },
+                Complex,
+            ),
+            query(
+                "Q3.3",
+                "A white dog inside a car.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Dog),
+                    color: Some(Color::White),
+                    location: Some(Location::InsideCar),
+                    ..Default::default()
+                },
+                Normal,
+            ),
+            query(
+                "Q3.4",
+                "A white dog inside a car, next to a woman wearing black clothes.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Dog),
+                    color: Some(Color::White),
+                    location: Some(Location::InsideCar),
+                    relation: Some(Relation::NextTo(ObjectClass::Person)),
+                    ..Default::default()
+                },
+                Complex,
+            ),
+        ],
+        DatasetKind::Beach => vec![
+            query(
+                "Q4.1",
+                "A green bus driving on the road.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Bus),
+                    color: Some(Color::Green),
+                    location: Some(Location::Road),
+                    ..Default::default()
+                },
+                Normal,
+            ),
+            query(
+                "Q4.2",
+                "A green bus with the white roof driving on the road.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Bus),
+                    color: Some(Color::Green),
+                    accessories: vec![Accessory::WhiteRoof],
+                    ..Default::default()
+                },
+                Complex,
+            ),
+            query(
+                "Q4.3",
+                "A truck driving on the road.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Truck),
+                    location: Some(Location::Road),
+                    ..Default::default()
+                },
+                Simple,
+            ),
+            query(
+                "Q4.4",
+                "A small white truck filled with cargo driving on the road.",
+                QueryConstraints {
+                    class: Some(ObjectClass::Truck),
+                    color: Some(Color::White),
+                    size: Some(SizeClass::Small),
+                    accessories: vec![Accessory::CargoLoad],
+                    ..Default::default()
+                },
+                Complex,
+            ),
+        ],
+        DatasetKind::ActivityNetQa => extension_queries(),
+    }
+}
+
+/// The three motivation queries of Fig. 2 (Bellevue scenario).
+pub fn motivation_queries() -> Vec<ObjectQuery> {
+    vec![
+        query(
+            "M-simple",
+            "car",
+            QueryConstraints {
+                class: Some(ObjectClass::Car),
+                ..Default::default()
+            },
+            QueryComplexity::Simple,
+        ),
+        query(
+            "M-normal",
+            "red car in road",
+            QueryConstraints {
+                class: Some(ObjectClass::Car),
+                color: Some(Color::Red),
+                location: Some(Location::Road),
+                ..Default::default()
+            },
+            QueryComplexity::Normal,
+        ),
+        query(
+            "M-complex",
+            "red car side by side with another car, positioned in the center of the road",
+            QueryConstraints {
+                class: Some(ObjectClass::Car),
+                color: Some(Color::Red),
+                location: Some(Location::RoadCenter),
+                relation: Some(Relation::SideBySideWith(ObjectClass::Car)),
+                ..Default::default()
+            },
+            QueryComplexity::Complex,
+        ),
+    ]
+}
+
+/// The ActivityNet-QA extension queries of Table VI (EQ1–EQ4).
+pub fn extension_queries() -> Vec<ObjectQuery> {
+    vec![
+        query(
+            "EQ1",
+            "does the car park on the meadow",
+            QueryConstraints {
+                class: Some(ObjectClass::Car),
+                activity: Some(Activity::Parked),
+                location: Some(Location::Meadow),
+                ..Default::default()
+            },
+            QueryComplexity::Complex,
+        ),
+        query(
+            "EQ2",
+            "is the person with a hat a man",
+            QueryConstraints {
+                class: Some(ObjectClass::Person),
+                gender: Some(Gender::Man),
+                accessories: vec![Accessory::Hat],
+                ..Default::default()
+            },
+            QueryComplexity::Complex,
+        ),
+        query(
+            "EQ3",
+            "is the person in the red life jacket outdoors",
+            QueryConstraints {
+                class: Some(ObjectClass::Person),
+                location: Some(Location::Outdoors),
+                accessories: vec![Accessory::RedLifeJacket],
+                ..Default::default()
+            },
+            QueryComplexity::Complex,
+        ),
+        query(
+            "EQ4",
+            "is the person in a grey skirt dancing in the room",
+            QueryConstraints {
+                class: Some(ObjectClass::Person),
+                activity: Some(Activity::Dancing),
+                location: Some(Location::Room),
+                accessories: vec![Accessory::GreySkirt],
+                ..Default::default()
+            },
+            QueryComplexity::Complex,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_video::{DatasetConfig, VideoCollection};
+
+    #[test]
+    fn each_dataset_has_four_queries_with_paper_ids() {
+        for kind in [
+            DatasetKind::Cityscapes,
+            DatasetKind::Bellevue,
+            DatasetKind::Qvhighlights,
+            DatasetKind::Beach,
+        ] {
+            let queries = queries_for(kind);
+            assert_eq!(queries.len(), 4, "{kind:?}");
+            assert!(queries.iter().all(|q| q.id.starts_with('Q')));
+        }
+        assert_eq!(extension_queries().len(), 4);
+        assert_eq!(motivation_queries().len(), 3);
+    }
+
+    #[test]
+    fn every_query_has_ground_truth_in_its_default_dataset() {
+        for kind in DatasetKind::ALL {
+            let videos = VideoCollection::generate(DatasetConfig::for_kind(kind));
+            for q in queries_for(kind) {
+                let positives = videos
+                    .iter_frames()
+                    .filter(|(_, f)| q.frame_is_positive(f))
+                    .count();
+                assert!(positives > 0, "query {} has no ground truth in {kind:?}", q.id);
+            }
+        }
+    }
+
+    #[test]
+    fn query_text_parses_consistently_with_ground_truth_class() {
+        // The text encoder's parse of each query should agree with the
+        // workload's ground-truth class constraint (otherwise the system is
+        // being evaluated on a different query than it executes).
+        for kind in DatasetKind::ALL {
+            for q in queries_for(kind) {
+                let parsed = lovo_encoder::TextEncoder::parse(&q.text);
+                assert_eq!(
+                    parsed.class, q.constraints.class,
+                    "class mismatch for {}: parsed {:?}",
+                    q.id, parsed.class
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_levels_are_distinct_in_motivation_set() {
+        let m = motivation_queries();
+        assert_eq!(m[0].complexity, QueryComplexity::Simple);
+        assert_eq!(m[1].complexity, QueryComplexity::Normal);
+        assert_eq!(m[2].complexity, QueryComplexity::Complex);
+        assert!(m[0].constraints.is_predefined_class_only());
+        assert!(!m[2].constraints.is_predefined_class_only());
+    }
+}

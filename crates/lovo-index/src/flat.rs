@@ -1,0 +1,204 @@
+//! Exhaustive (brute-force) index: the accuracy upper bound in Table V.
+
+use crate::metric::{dot, Metric};
+use crate::{IndexError, Result, SearchResult, SearchStats, VectorId, VectorIndex};
+
+/// A flat index that stores every vector and scans all of them per query.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<VectorId>,
+    /// All vectors concatenated row-major; `ids[i]` owns
+    /// `data[i*dim..(i+1)*dim]`.
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Creates an empty flat index for `dim`-dimensional vectors with the
+    /// default inner-product metric.
+    pub fn new(dim: usize) -> Self {
+        Self::with_metric(dim, Metric::InnerProduct)
+    }
+
+    /// Creates an empty flat index with an explicit metric.
+    pub fn with_metric(dim: usize, metric: Metric) -> Self {
+        Self {
+            dim,
+            metric,
+            ids: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Borrow the stored vector for an id, if present (linear scan; test helper).
+    pub fn vector(&self, id: VectorId) -> Option<&[f32]> {
+        self.ids
+            .iter()
+            .position(|&i| i == id)
+            .map(|pos| &self.data[pos * self.dim..(pos + 1) * self.dim])
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.dim,
+                actual: vector.len(),
+            });
+        }
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        Ok(())
+    }
+
+    fn build(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        if query.len() != self.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let mut results: Vec<SearchResult> = self
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| {
+                let vector = &self.data[pos * self.dim..(pos + 1) * self.dim];
+                let score = match self.metric {
+                    Metric::InnerProduct => dot(query, vector),
+                    Metric::L2 => self.metric.score(query, vector),
+                };
+                SearchResult { id, score }
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        results.truncate(k);
+        let stats = SearchStats {
+            vectors_scored: self.ids.len(),
+            cells_probed: 1,
+            exact_rescored: results.len(),
+        };
+        Ok((results, stats))
+    }
+
+    fn family(&self) -> &'static str {
+        "BF"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+            + self.ids.len() * std::mem::size_of::<VectorId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::normalized;
+
+    fn unit(v: &[f32]) -> Vec<f32> {
+        normalized(v)
+    }
+
+    #[test]
+    fn exact_top_k_ordering() {
+        let mut idx = FlatIndex::new(3);
+        idx.insert(1, &unit(&[1.0, 0.0, 0.0])).unwrap();
+        idx.insert(2, &unit(&[0.0, 1.0, 0.0])).unwrap();
+        idx.insert(3, &unit(&[0.9, 0.1, 0.0])).unwrap();
+        idx.build().unwrap();
+        let hits = idx.search(&unit(&[1.0, 0.0, 0.0]), 2).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 3);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_everything() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(7, &[1.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.0], 10).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let mut idx = FlatIndex::new(4);
+        assert!(idx.insert(1, &[1.0, 2.0]).is_err());
+        idx.insert(1, &[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(idx.search(&[1.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn stats_count_all_vectors() {
+        let mut idx = FlatIndex::new(2);
+        for i in 0..50 {
+            idx.insert(i, &unit(&[i as f32 + 1.0, 1.0])).unwrap();
+        }
+        let (_, stats) = idx.search_with_stats(&unit(&[1.0, 1.0]), 5).unwrap();
+        assert_eq!(stats.vectors_scored, 50);
+        assert_eq!(stats.exact_rescored, 5);
+    }
+
+    #[test]
+    fn memory_grows_with_inserts() {
+        let mut idx = FlatIndex::new(8);
+        let before = idx.memory_bytes();
+        idx.insert(1, &[0.5; 8]).unwrap();
+        assert!(idx.memory_bytes() > before);
+    }
+
+    #[test]
+    fn vector_lookup_round_trips() {
+        let mut idx = FlatIndex::new(3);
+        let v = unit(&[0.2, 0.5, 0.8]);
+        idx.insert(42, &v).unwrap();
+        assert_eq!(idx.vector(42).unwrap(), v.as_slice());
+        assert!(idx.vector(43).is_none());
+    }
+
+    #[test]
+    fn l2_metric_orders_by_distance() {
+        let mut idx = FlatIndex::with_metric(2, Metric::L2);
+        idx.insert(1, &[0.0, 0.0]).unwrap();
+        idx.insert(2, &[5.0, 5.0]).unwrap();
+        let hits = idx.search(&[0.5, 0.5], 2).unwrap();
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(idx.family(), "BF");
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let mut idx = FlatIndex::new(2);
+        idx.insert(9, &[1.0, 0.0]).unwrap();
+        idx.insert(3, &[1.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.0], 2).unwrap();
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[1].id, 9);
+    }
+}

@@ -1,0 +1,488 @@
+//! Hierarchical Navigable Small World (HNSW) graph index.
+//!
+//! The Table V "graph-based indexing" variant of LOVO. The implementation is
+//! the standard construction: each element receives a random level from a
+//! geometric distribution; links are built greedily layer by layer, searching
+//! with an `ef_construction` beam and keeping the closest `m` neighbours;
+//! queries descend from the entry point with a beam of 1 until layer 0, where
+//! an `ef_search` beam produces the candidate set. Scores are inner products
+//! of unit vectors (higher is better), consistent with the rest of the crate.
+
+use crate::metric::dot;
+use crate::{IndexError, Result, SearchResult, SearchStats, VectorId, VectorIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Configuration of the HNSW index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Maximum number of neighbours per node on layers above 0 (layer 0 keeps `2 m`).
+    pub m: usize,
+    /// Beam width used while inserting.
+    pub ef_construction: usize,
+    /// Beam width used while searching.
+    pub ef_search: usize,
+    /// Seed of the level generator.
+    pub seed: u64,
+}
+
+impl HnswConfig {
+    /// Default parameters sized for the reproduction's workloads.
+    pub fn for_dim(dim: usize) -> Self {
+        Self {
+            dim,
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x45f1,
+        }
+    }
+
+    /// Builder-style override of the search beam width.
+    pub fn with_ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = ef.max(1);
+        self
+    }
+
+    /// Builder-style override of the connectivity parameter.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m.max(2);
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.dim == 0 {
+            return Err(IndexError::InvalidConfig("dim must be positive".into()));
+        }
+        if self.m < 2 {
+            return Err(IndexError::InvalidConfig("m must be at least 2".into()));
+        }
+        if self.ef_construction == 0 || self.ef_search == 0 {
+            return Err(IndexError::InvalidConfig(
+                "ef_construction and ef_search must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Internal node: the stored vector, its external id, and per-layer adjacency.
+#[derive(Debug, Clone)]
+struct Node {
+    id: VectorId,
+    vector: Vec<f32>,
+    /// `neighbors[layer]` lists the node's links on that layer.
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// Max-heap entry ordered by score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    score: f32,
+    node: u32,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap adapter (reverse ordering) used for the result frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinScored(Scored);
+
+impl Eq for MinScored {}
+
+impl Ord for MinScored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp(&self.0)
+    }
+}
+
+impl PartialOrd for MinScored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The HNSW index.
+pub struct HnswIndex {
+    config: HnswConfig,
+    nodes: Vec<Node>,
+    entry_point: Option<u32>,
+    max_level: usize,
+    rng: SmallRng,
+}
+
+impl HnswIndex {
+    /// Creates an empty index.
+    pub fn new(config: HnswConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            nodes: Vec::new(),
+            entry_point: None,
+            max_level: 0,
+        })
+    }
+
+    /// The index configuration.
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    fn random_level(&mut self) -> usize {
+        // Geometric distribution with the standard 1/ln(m) normalization.
+        let ml = 1.0 / (self.config.m as f64).ln();
+        let uniform: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        (-uniform.ln() * ml).floor() as usize
+    }
+
+    fn score(&self, query: &[f32], node: u32) -> f32 {
+        dot(query, &self.nodes[node as usize].vector)
+    }
+
+    /// Greedy best-first search on one layer, returning up to `ef` best nodes.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry: u32,
+        ef: usize,
+        layer: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Scored> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(entry);
+        let entry_scored = Scored {
+            score: self.score(query, entry),
+            node: entry,
+        };
+        stats.vectors_scored += 1;
+        let mut candidates: BinaryHeap<Scored> = BinaryHeap::from([entry_scored]);
+        let mut results: BinaryHeap<MinScored> = BinaryHeap::from([MinScored(entry_scored)]);
+
+        while let Some(current) = candidates.pop() {
+            let worst = results.peek().map(|m| m.0.score).unwrap_or(f32::NEG_INFINITY);
+            if current.score < worst && results.len() >= ef {
+                break;
+            }
+            stats.cells_probed += 1;
+            let node = &self.nodes[current.node as usize];
+            if let Some(links) = node.neighbors.get(layer) {
+                for &next in links {
+                    if !visited.insert(next) {
+                        continue;
+                    }
+                    let s = Scored {
+                        score: self.score(query, next),
+                        node: next,
+                    };
+                    stats.vectors_scored += 1;
+                    let worst = results.peek().map(|m| m.0.score).unwrap_or(f32::NEG_INFINITY);
+                    if results.len() < ef || s.score > worst {
+                        candidates.push(s);
+                        results.push(MinScored(s));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Scored> = results.into_iter().map(|m| m.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    fn link(&mut self, a: u32, b: u32, layer: usize) {
+        let max_links = if layer == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        };
+        for (from, to) in [(a, b), (b, a)] {
+            let mut links = self.nodes[from as usize].neighbors[layer].clone();
+            if !links.contains(&to) {
+                links.push(to);
+            }
+            if links.len() > max_links {
+                // Prune to the closest neighbours of `from`.
+                let from_vec = &self.nodes[from as usize].vector;
+                let mut scored: Vec<(u32, f32)> = links
+                    .iter()
+                    .map(|&n| (n, dot(from_vec, &self.nodes[n as usize].vector)))
+                    .collect();
+                scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(Ordering::Equal));
+                scored.truncate(max_links);
+                links = scored.into_iter().map(|(n, _)| n).collect();
+            }
+            self.nodes[from as usize].neighbors[layer] = links;
+        }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
+        if vector.len() != self.config.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: vector.len(),
+            });
+        }
+        let level = self.random_level();
+        let new_index = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            id,
+            vector: vector.to_vec(),
+            neighbors: vec![Vec::new(); level + 1],
+        });
+
+        let Some(mut current) = self.entry_point else {
+            self.entry_point = Some(new_index);
+            self.max_level = level;
+            return Ok(());
+        };
+
+        let mut stats = SearchStats::default();
+        // Descend through the layers above the new node's level greedily.
+        for layer in (level + 1..=self.max_level).rev() {
+            loop {
+                let found = self.search_layer(vector, current, 1, layer, &mut stats);
+                let best = found[0];
+                if best.node == current {
+                    break;
+                }
+                if best.score > self.score(vector, current) {
+                    current = best.node;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Connect on every layer from min(level, max_level) down to 0.
+        for layer in (0..=level.min(self.max_level)).rev() {
+            let neighbors =
+                self.search_layer(vector, current, self.config.ef_construction, layer, &mut stats);
+            current = neighbors.first().map(|s| s.node).unwrap_or(current);
+            for scored in neighbors.iter().take(self.config.m) {
+                self.link(new_index, scored.node, layer);
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry_point = Some(new_index);
+        }
+        Ok(())
+    }
+
+    fn build(&mut self) -> Result<()> {
+        // HNSW builds incrementally on insert.
+        Ok(())
+    }
+
+    fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        if query.len() != self.config.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: query.len(),
+            });
+        }
+        let mut stats = SearchStats::default();
+        let Some(entry) = self.entry_point else {
+            return Ok((Vec::new(), stats));
+        };
+        if k == 0 {
+            return Ok((Vec::new(), stats));
+        }
+        let mut current = entry;
+        for layer in (1..=self.max_level).rev() {
+            let found = self.search_layer(query, current, 1, layer, &mut stats);
+            current = found[0].node;
+        }
+        let ef = self.config.ef_search.max(k);
+        let found = self.search_layer(query, current, ef, 0, &mut stats);
+        let results: Vec<SearchResult> = found
+            .into_iter()
+            .take(k)
+            .map(|s| SearchResult {
+                id: self.nodes[s.node as usize].id,
+                score: s.score,
+            })
+            .collect();
+        stats.exact_rescored = results.len();
+        Ok((results, stats))
+    }
+
+    fn family(&self) -> &'static str {
+        "HNSW"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.vector.len() * std::mem::size_of::<f32>()
+                    + n.neighbors
+                        .iter()
+                        .map(|l| l.len() * std::mem::size_of::<u32>())
+                        .sum::<usize>()
+                    + std::mem::size_of::<VectorId>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::metric::normalize;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_unit(dim: usize, rng: &mut SmallRng) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        normalize(&mut v);
+        v
+    }
+
+    fn build(n: usize, dim: usize, seed: u64) -> (HnswIndex, FlatIndex, Vec<Vec<f32>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let vectors: Vec<Vec<f32>> = (0..n).map(|_| random_unit(dim, &mut rng)).collect();
+        let mut hnsw = HnswIndex::new(HnswConfig::for_dim(dim)).unwrap();
+        let mut flat = FlatIndex::new(dim);
+        for (i, v) in vectors.iter().enumerate() {
+            hnsw.insert(i as u64, v).unwrap();
+            flat.insert(i as u64, v).unwrap();
+        }
+        (hnsw, flat, vectors)
+    }
+
+    #[test]
+    fn empty_index_returns_no_results() {
+        let idx = HnswIndex::new(HnswConfig::for_dim(8)).unwrap();
+        assert!(idx.search(&[0.0; 8], 5).unwrap().is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn single_element_is_found() {
+        let mut idx = HnswIndex::new(HnswConfig::for_dim(4)).unwrap();
+        idx.insert(42, &[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.0, 0.0, 0.0], 3).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 42);
+    }
+
+    #[test]
+    fn self_queries_hit_themselves() {
+        let (hnsw, _, vectors) = build(1_500, 32, 5);
+        let mut hit = 0;
+        for probe in (0..1_500).step_by(100) {
+            let res = hnsw.search(&vectors[probe], 1).unwrap();
+            if res[0].id == probe as u64 {
+                hit += 1;
+            }
+        }
+        assert!(hit >= 14, "only {hit}/15 self-queries succeeded");
+    }
+
+    #[test]
+    fn recall_against_brute_force() {
+        let (hnsw, flat, vectors) = build(2_000, 32, 9);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut recall_hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let q = &vectors[rng.gen_range(0..vectors.len())];
+            let exact: Vec<u64> = flat.search(q, 10).unwrap().iter().map(|r| r.id).collect();
+            let approx: Vec<u64> = hnsw.search(q, 10).unwrap().iter().map(|r| r.id).collect();
+            total += exact.len();
+            recall_hits += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = recall_hits as f32 / total as f32;
+        assert!(recall > 0.8, "HNSW recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn probes_fewer_vectors_than_brute_force() {
+        let (hnsw, flat, vectors) = build(4_000, 32, 3);
+        let (_, h_stats) = hnsw.search_with_stats(&vectors[100], 10).unwrap();
+        let (_, f_stats) = flat.search_with_stats(&vectors[100], 10).unwrap();
+        assert!(h_stats.vectors_scored < f_stats.vectors_scored / 2);
+    }
+
+    #[test]
+    fn larger_ef_search_scores_more_candidates() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let vectors: Vec<Vec<f32>> = (0..2_000).map(|_| random_unit(32, &mut rng)).collect();
+        let mut small = HnswIndex::new(HnswConfig::for_dim(32).with_ef_search(8)).unwrap();
+        let mut large = HnswIndex::new(HnswConfig::for_dim(32).with_ef_search(128)).unwrap();
+        for (i, v) in vectors.iter().enumerate() {
+            small.insert(i as u64, v).unwrap();
+            large.insert(i as u64, v).unwrap();
+        }
+        let (_, s) = small.search_with_stats(&vectors[0], 5).unwrap();
+        let (_, l) = large.search_with_stats(&vectors[0], 5).unwrap();
+        assert!(s.vectors_scored < l.vectors_scored);
+    }
+
+    #[test]
+    fn results_sorted_descending_and_k_respected() {
+        let (hnsw, _, vectors) = build(800, 16, 1);
+        let hits = hnsw.search(&vectors[3], 7).unwrap();
+        assert_eq!(hits.len(), 7);
+        for pair in hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut idx = HnswIndex::new(HnswConfig::for_dim(16)).unwrap();
+        assert!(idx.insert(0, &[0.0; 8]).is_err());
+        idx.insert(0, &[0.1; 16]).unwrap();
+        assert!(idx.search(&[0.0; 8], 1).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HnswConfig::for_dim(0).validate().is_err());
+        let mut c = HnswConfig::for_dim(8);
+        c.m = 1;
+        assert!(c.validate().is_err());
+        c = HnswConfig::for_dim(8);
+        c.ef_search = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Lloyd's k-means (the paper cites Lloyd's iteration for training PQ
+//! codebooks, §V-B).
+//!
+//! The trainer is deterministic given its seed: initialization uses a
+//! k-means++-style D² seeding driven by a `SmallRng`, followed by standard
+//! assign/update iterations until assignments stop changing or the iteration
+//! budget is exhausted. Empty clusters are re-seeded from the point farthest
+//! from its centroid so the requested number of centroids is always produced.
+
+use crate::metric::squared_l2;
+use crate::{IndexError, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k` rows of `dim` values.
+    pub centroids: Vec<Vec<f32>>,
+    /// Index of the centroid assigned to each training point.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Configuration of the trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Creates a configuration with the default iteration budget (25).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 25,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style iteration budget override.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters.max(1);
+        self
+    }
+}
+
+/// Runs Lloyd's algorithm on `points` (each of dimension `dim`).
+///
+/// Returns an error when there are no points, the dimension is zero, or `k`
+/// is zero. When there are fewer points than clusters, duplicated points seed
+/// the surplus centroids (every requested centroid is still produced, which is
+/// what the PQ codebook training relies on).
+pub fn lloyd(points: &[Vec<f32>], dim: usize, config: &KMeansConfig) -> Result<KMeansResult> {
+    if config.k == 0 {
+        return Err(IndexError::InvalidConfig("k must be positive".into()));
+    }
+    if dim == 0 {
+        return Err(IndexError::InvalidConfig("dim must be positive".into()));
+    }
+    if points.is_empty() {
+        return Err(IndexError::InvalidState(
+            "cannot train k-means on zero points".into(),
+        ));
+    }
+    if let Some(bad) = points.iter().find(|p| p.len() != dim) {
+        return Err(IndexError::DimensionMismatch {
+            expected: dim,
+            actual: bad.len(),
+        });
+    }
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut centroids = init_plus_plus(points, config.k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest_centroid(p, &centroids);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+            if count > 0 {
+                for (cv, sv) in c.iter_mut().zip(sum.iter()) {
+                    *cv = sv / count as f32;
+                }
+            }
+        }
+        // Re-seed empty clusters from the worst-fit point.
+        for cluster in 0..centroids.len() {
+            if counts[cluster] == 0 {
+                if let Some((worst_idx, _)) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, squared_l2(p, &centroids[assignments[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                {
+                    centroids[cluster] = points[worst_idx].clone();
+                    changed = true;
+                }
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(assignments.iter())
+        .map(|(p, &a)| squared_l2(p, &centroids[a]))
+        .sum();
+
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+/// Index of the centroid nearest (in squared L2) to `point`.
+pub fn nearest_centroid(point: &[f32], centroids: &[Vec<f32>]) -> usize {
+    let mut best = 0;
+    let mut best_dist = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_l2(point, c);
+        if d < best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// k-means++ D² seeding.
+fn init_plus_plus(points: &[Vec<f32>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f32>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dists: Vec<f32> = points
+        .iter()
+        .map(|p| squared_l2(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f32 = dists.iter().sum();
+        let next = if total <= f32::EPSILON {
+            // All points coincide with existing centroids; duplicate one.
+            points[rng.gen_range(0..points.len())].clone()
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            points[chosen].clone()
+        };
+        for (d, p) in dists.iter_mut().zip(points.iter()) {
+            *d = d.min(squared_l2(p, &next));
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n: usize) -> Vec<Vec<f32>> {
+        // Two well-separated clusters around (0,0) and (10,10).
+        (0..n)
+            .map(|i| {
+                let offset = if i % 2 == 0 { 0.0 } else { 10.0 };
+                let jitter = (i as f32 * 0.37).sin() * 0.3;
+                vec![offset + jitter, offset - jitter]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = two_blobs(200);
+        let result = lloyd(&points, 2, &KMeansConfig::new(2)).unwrap();
+        assert_eq!(result.centroids.len(), 2);
+        let mut centers: Vec<f32> = result.centroids.iter().map(|c| c[0]).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(centers[0].abs() < 1.0, "low centroid at {}", centers[0]);
+        assert!((centers[1] - 10.0).abs() < 1.0, "high centroid at {}", centers[1]);
+        // Points alternate between blobs, so assignments must alternate too.
+        assert_ne!(result.assignments[0], result.assignments[1]);
+        assert_eq!(result.assignments[0], result.assignments[2]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points = two_blobs(64);
+        let a = lloyd(&points, 2, &KMeansConfig::new(4).with_seed(5)).unwrap();
+        let b = lloyd(&points, 2, &KMeansConfig::new(4).with_seed(5)).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn produces_requested_k_even_with_few_points() {
+        let points = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let result = lloyd(&points, 2, &KMeansConfig::new(5)).unwrap();
+        assert_eq!(result.centroids.len(), 5);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let points = vec![vec![1.0, 2.0]];
+        assert!(lloyd(&points, 2, &KMeansConfig::new(0)).is_err());
+        assert!(lloyd(&[], 2, &KMeansConfig::new(2)).is_err());
+        assert!(lloyd(&points, 0, &KMeansConfig::new(2)).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(lloyd(&ragged, 2, &KMeansConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let points = two_blobs(100);
+        let one = lloyd(&points, 2, &KMeansConfig::new(1)).unwrap();
+        let four = lloyd(&points, 2, &KMeansConfig::new(4)).unwrap();
+        assert!(four.inertia <= one.inertia);
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let points = vec![vec![3.0, 3.0]; 20];
+        let result = lloyd(&points, 2, &KMeansConfig::new(4)).unwrap();
+        assert_eq!(result.centroids.len(), 4);
+        assert!(result.inertia < 1e-6);
+    }
+
+    #[test]
+    fn nearest_centroid_picks_closest() {
+        let centroids = vec![vec![0.0, 0.0], vec![5.0, 5.0]];
+        assert_eq!(nearest_centroid(&[1.0, 1.0], &centroids), 0);
+        assert_eq!(nearest_centroid(&[4.0, 6.0], &centroids), 1);
+    }
+}

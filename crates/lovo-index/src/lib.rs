@@ -1,0 +1,208 @@
+//! # lovo-index
+//!
+//! Vector-index substrate for the LOVO reproduction (§V of the paper).
+//!
+//! The paper stores per-patch class embeddings in a vector database indexed
+//! with product quantization and an inverted multi-index, and answers queries
+//! with the approximate nearest-neighbour search of Algorithm 1. Table V also
+//! compares against brute force and a graph-based (HNSW) index. This crate
+//! implements all of those from scratch:
+//!
+//! * [`metric`] — similarity metrics (§V-A): normalized dot product /
+//!   cosine, and the distance relationship `d = sqrt(2 - 2 s)`;
+//! * [`kmeans`] — Lloyd's iteration, used to train PQ codebooks and the
+//!   coarse quantizers;
+//! * [`pq`] — product quantization with asymmetric-distance (ADC) lookup
+//!   tables;
+//! * [`ivf`] — the inverted multi-index (Cartesian product of per-subspace
+//!   coarse codebooks) plus Algorithm 1's search: per-subspace centroid
+//!   scoring, Top-A cluster selection, residual-corrected approximate scores,
+//!   exact re-scoring of the top-k, and the patch-id majority vote;
+//! * [`hnsw`] — a hierarchical navigable small-world graph index;
+//! * [`flat`] — exhaustive (brute-force) search, the accuracy upper bound.
+//!
+//! All indexes implement the common [`VectorIndex`] trait so the storage layer
+//! (`lovo-store`) and LOVO itself can switch between them (the Table V
+//! experiment does exactly that).
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod kmeans;
+pub mod metric;
+pub mod pq;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use ivf::{IvfPqConfig, IvfPqIndex};
+pub use metric::Metric;
+pub use pq::{PqCode, PqConfig, ProductQuantizer};
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by index construction and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A vector had the wrong dimensionality.
+    DimensionMismatch {
+        /// Dimension the index expects.
+        expected: usize,
+        /// Dimension that was provided.
+        actual: usize,
+    },
+    /// The index cannot be built or searched in its current state.
+    InvalidState(String),
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            IndexError::InvalidState(msg) => write!(f, "invalid index state: {msg}"),
+            IndexError::InvalidConfig(msg) => write!(f, "invalid index config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Result alias for index operations.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+/// External identifier of an indexed vector. LOVO uses the *patch id*: a
+/// unique key per (key frame, patch) pair that also links to the relational
+/// metadata store.
+pub type VectorId = u64;
+
+/// One search hit: the stored vector's id and its similarity to the query
+/// (higher is more similar; the inner-product metric on unit vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Identifier of the matched vector (the patch id).
+    pub id: VectorId,
+    /// Similarity score (inner product of unit vectors ⇒ cosine).
+    pub score: f32,
+}
+
+/// Statistics describing the work a search performed, used by the runtime and
+/// ablation experiments to report probe counts next to wall-clock latency.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of stored vectors whose (approximate or exact) score was computed.
+    pub vectors_scored: usize,
+    /// Number of coarse clusters / graph nodes visited.
+    pub cells_probed: usize,
+    /// Number of candidates that were exactly re-scored.
+    pub exact_rescored: usize,
+}
+
+/// Common interface over all index families (Flat, IVF-PQ, HNSW).
+pub trait VectorIndex: Send + Sync {
+    /// Dimensionality of indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// Number of vectors currently stored.
+    fn len(&self) -> usize;
+
+    /// True when the index holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds a vector with the given external id. Vectors are expected to be
+    /// L2-normalized by the caller (the storage layer enforces this).
+    fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()>;
+
+    /// Builds / trains any internal structures (codebooks, graphs). Indexes
+    /// that need no training treat this as a no-op. Must be called after the
+    /// final insert and before `search` for training-based indexes.
+    fn build(&mut self) -> Result<()>;
+
+    /// Returns the `k` most similar vectors to `query`, best first.
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<SearchResult>> {
+        Ok(self.search_with_stats(query, k)?.0)
+    }
+
+    /// Like [`VectorIndex::search`] but also reports work statistics.
+    fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<SearchResult>, SearchStats)>;
+
+    /// Human-readable name of the index family (for reports).
+    fn family(&self) -> &'static str;
+
+    /// Approximate memory footprint of the index payload in bytes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Index families the system can be configured with (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// Exhaustive brute-force search.
+    BruteForce,
+    /// Quantization-based inverted multi-index (the paper's default).
+    IvfPq,
+    /// Graph-based index.
+    Hnsw,
+}
+
+impl IndexKind {
+    /// Display name matching the paper's Table V rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::BruteForce => "BF",
+            IndexKind::IvfPq => "IVF-PQ",
+            IndexKind::Hnsw => "HNSW",
+        }
+    }
+
+    /// All index kinds.
+    pub const ALL: [IndexKind; 3] = [IndexKind::BruteForce, IndexKind::IvfPq, IndexKind::Hnsw];
+}
+
+/// Creates an index of the given family for `dim`-dimensional vectors using
+/// default parameters sized for the reproduction's workloads.
+pub fn create_index(kind: IndexKind, dim: usize) -> Result<Box<dyn VectorIndex>> {
+    match kind {
+        IndexKind::BruteForce => Ok(Box::new(FlatIndex::new(dim))),
+        IndexKind::IvfPq => Ok(Box::new(IvfPqIndex::new(IvfPqConfig::for_dim(dim))?)),
+        IndexKind::Hnsw => Ok(Box::new(HnswIndex::new(HnswConfig::for_dim(dim))?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_kind_names_match_table_v() {
+        assert_eq!(IndexKind::BruteForce.name(), "BF");
+        assert_eq!(IndexKind::IvfPq.name(), "IVF-PQ");
+        assert_eq!(IndexKind::Hnsw.name(), "HNSW");
+    }
+
+    #[test]
+    fn create_index_produces_each_family() {
+        for kind in IndexKind::ALL {
+            let idx = create_index(kind, 32).unwrap();
+            assert_eq!(idx.dim(), 32);
+            assert!(idx.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IndexError::DimensionMismatch {
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("expected 8"));
+        assert!(IndexError::InvalidState("x".into()).to_string().contains('x'));
+    }
+}

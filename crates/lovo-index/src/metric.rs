@@ -1,0 +1,140 @@
+//! Similarity metrics (§V-A).
+//!
+//! LOVO normalizes every embedding to unit L2 norm so that the inner product
+//! equals cosine similarity and relates to Euclidean distance by
+//! `d = sqrt(2 - 2 s)`. The index implementations score with the inner
+//! product (higher = better); the k-means trainer works in distance space.
+
+use serde::{Deserialize, Serialize};
+
+/// Which similarity/distance the index optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Metric {
+    /// Inner product of L2-normalized vectors (equivalently cosine similarity).
+    #[default]
+    InnerProduct,
+    /// Squared Euclidean distance.
+    L2,
+}
+
+impl Metric {
+    /// Similarity score for the metric: higher is always better.
+    ///
+    /// For [`Metric::L2`] the score is the negated squared distance so the
+    /// same "descending score" ordering applies everywhere.
+    #[inline]
+    pub fn score(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::InnerProduct => dot(a, b),
+            Metric::L2 => -squared_l2(a, b),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::InnerProduct => "IP",
+            Metric::L2 => "L2",
+        }
+    }
+}
+
+/// Inner product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    // Unrolled by 4: the hot loop of every search path in this crate.
+    let chunks = a.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        acc += a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2] + a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    while i < a.len() {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc
+}
+
+/// Squared Euclidean distance of two equal-length vectors.
+#[inline]
+pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Normalizes a vector to unit L2 norm in place; zero vectors are left alone.
+pub fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > f32::EPSILON {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Returns a normalized copy of the vector.
+pub fn normalized(v: &[f32]) -> Vec<f32> {
+    let mut out = v.to_vec();
+    normalize(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_for_odd_lengths() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.3).collect();
+        let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32 * 0.2).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn l2_score_is_negated_distance() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(Metric::L2.score(&a, &b), -2.0);
+        assert_eq!(Metric::InnerProduct.score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn inner_product_on_unit_vectors_equals_cosine() {
+        let a = normalized(&[3.0, 4.0]);
+        let b = normalized(&[4.0, 3.0]);
+        let ip = Metric::InnerProduct.score(&a, &b);
+        assert!((ip - 24.0 / 25.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn higher_score_means_smaller_distance_for_unit_vectors() {
+        let q = normalized(&[1.0, 1.0, 0.0]);
+        let close = normalized(&[1.0, 0.9, 0.1]);
+        let far = normalized(&[-1.0, 0.2, 0.5]);
+        assert!(Metric::InnerProduct.score(&q, &close) > Metric::InnerProduct.score(&q, &far));
+        assert!(squared_l2(&q, &close) < squared_l2(&q, &far));
+    }
+
+    #[test]
+    fn normalize_handles_zero() {
+        let mut v = vec![0.0, 0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(Metric::InnerProduct.name(), "IP");
+        assert_eq!(Metric::L2.name(), "L2");
+        assert_eq!(Metric::default(), Metric::InnerProduct);
+    }
+}

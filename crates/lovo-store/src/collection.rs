@@ -1,0 +1,262 @@
+//! A named collection of embeddings over a pluggable ANN index.
+
+use crate::{Result, StoreError};
+use lovo_index::{create_index, IndexKind, SearchResult, SearchStats, VectorId, VectorIndex};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a vector collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Index family backing the collection.
+    pub index_kind: IndexKind,
+    /// Whether inserted vectors are L2-normalized before being stored
+    /// (the paper normalizes everything so dot product = cosine, §V-A).
+    pub normalize: bool,
+}
+
+impl CollectionConfig {
+    /// Creates a configuration with the paper's defaults (IVF-PQ, normalized).
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            index_kind: IndexKind::IvfPq,
+            normalize: true,
+        }
+    }
+
+    /// Builder-style index family override (Table V switches this).
+    pub fn with_index_kind(mut self, kind: IndexKind) -> Self {
+        self.index_kind = kind;
+        self
+    }
+}
+
+/// Size and build statistics of a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Number of stored vectors.
+    pub entities: usize,
+    /// Approximate index memory footprint in bytes.
+    pub index_bytes: usize,
+    /// Approximate raw embedding payload in bytes (before compression).
+    pub raw_bytes: usize,
+    /// Whether `build` has been called since the last insert batch.
+    pub built: bool,
+}
+
+/// A named collection of embeddings.
+pub struct VectorCollection {
+    name: String,
+    config: CollectionConfig,
+    index: Box<dyn VectorIndex>,
+    inserted: usize,
+    built: bool,
+}
+
+impl VectorCollection {
+    /// Creates an empty collection.
+    pub fn new(name: impl Into<String>, config: CollectionConfig) -> Result<Self> {
+        let index = create_index(config.index_kind, config.dim)?;
+        Ok(Self {
+            name: name.into(),
+            config,
+            index,
+            inserted: 0,
+            built: false,
+        })
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Collection configuration.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Inserts one embedding. Vectors are L2-normalized first when the
+    /// configuration requests it.
+    pub fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
+        if self.config.normalize {
+            let mut owned = vector.to_vec();
+            lovo_index::metric::normalize(&mut owned);
+            self.index.insert(id, &owned)?;
+        } else {
+            self.index.insert(id, vector)?;
+        }
+        self.inserted += 1;
+        self.built = false;
+        Ok(())
+    }
+
+    /// Inserts a batch of `(id, vector)` pairs.
+    pub fn insert_batch<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = (VectorId, &'a [f32])>,
+    ) -> Result<usize> {
+        let mut count = 0;
+        for (id, vector) in entries {
+            self.insert(id, vector)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Builds (trains) the underlying index. Must be called after ingestion
+    /// and before searching for training-based index families.
+    pub fn build(&mut self) -> Result<()> {
+        self.index.build()?;
+        self.built = true;
+        Ok(())
+    }
+
+    /// True when the collection has been built since the last insert.
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// Searches for the `k` most similar embeddings to `query`.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<SearchResult>> {
+        Ok(self.search_with_stats(query, k)?.0)
+    }
+
+    /// Searches and reports probe statistics.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        if !self.built && !matches!(self.config.index_kind, IndexKind::BruteForce | IndexKind::Hnsw)
+        {
+            return Err(StoreError::InvalidOperation(format!(
+                "collection '{}' must be built before searching",
+                self.name
+            )));
+        }
+        let result = if self.config.normalize {
+            let mut owned = query.to_vec();
+            lovo_index::metric::normalize(&mut owned);
+            self.index.search_with_stats(&owned, k)?
+        } else {
+            self.index.search_with_stats(query, k)?
+        };
+        Ok(result)
+    }
+
+    /// Size statistics for the experiment reports (Fig. 11(b)).
+    pub fn stats(&self) -> CollectionStats {
+        CollectionStats {
+            entities: self.index.len(),
+            index_bytes: self.index.memory_bytes(),
+            raw_bytes: self.index.len() * self.config.dim * std::mem::size_of::<f32>(),
+            built: self.built,
+        }
+    }
+
+    /// Name of the backing index family.
+    pub fn index_family(&self) -> &'static str {
+        self.index.family()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * 31 + d * 7) % 97) as f32 / 97.0 - 0.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_build_search_round_trip() {
+        let mut c = VectorCollection::new("patches", CollectionConfig::new(16)).unwrap();
+        let vectors = sample_vectors(600, 16);
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        assert_eq!(c.len(), 600);
+        c.build().unwrap();
+        assert!(c.is_built());
+        let hits = c.search(&vectors[42], 5).unwrap();
+        assert_eq!(hits[0].id, 42);
+    }
+
+    #[test]
+    fn searching_unbuilt_ivf_collection_fails() {
+        let mut c = VectorCollection::new("patches", CollectionConfig::new(16)).unwrap();
+        c.insert(0, &sample_vectors(1, 16)[0]).unwrap();
+        assert!(c.search(&sample_vectors(1, 16)[0], 1).is_err());
+    }
+
+    #[test]
+    fn brute_force_collection_searches_without_build() {
+        let cfg = CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce);
+        let mut c = VectorCollection::new("bf", cfg).unwrap();
+        c.insert(1, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let hits = c.search(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 1).unwrap();
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(c.index_family(), "BF");
+    }
+
+    #[test]
+    fn normalization_makes_scale_irrelevant() {
+        let cfg = CollectionConfig::new(4).with_index_kind(IndexKind::BruteForce);
+        let mut c = VectorCollection::new("norm", cfg).unwrap();
+        c.insert(1, &[10.0, 0.0, 0.0, 0.0]).unwrap();
+        c.insert(2, &[0.0, 0.1, 0.0, 0.0]).unwrap();
+        let hits = c.search(&[0.0, 500.0, 0.0, 0.0], 1).unwrap();
+        assert_eq!(hits[0].id, 2);
+        assert!((hits[0].score - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut c = VectorCollection::new("stats", CollectionConfig::new(8)).unwrap();
+        let vectors = sample_vectors(300, 8);
+        let refs: Vec<(u64, &[f32])> = vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64, v.as_slice()))
+            .collect();
+        let inserted = c.insert_batch(refs).unwrap();
+        assert_eq!(inserted, 300);
+        c.build().unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.entities, 300);
+        assert!(stats.index_bytes > 0);
+        assert_eq!(stats.raw_bytes, 300 * 8 * 4);
+        assert!(stats.built);
+    }
+
+    #[test]
+    fn insert_after_build_marks_unbuilt_for_hnsw_and_ok() {
+        let cfg = CollectionConfig::new(8).with_index_kind(IndexKind::Hnsw);
+        let mut c = VectorCollection::new("hnsw", cfg).unwrap();
+        for (i, v) in sample_vectors(50, 8).iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        // HNSW needs no explicit build.
+        let hits = c.search(&sample_vectors(50, 8)[10], 3).unwrap();
+        assert!(!hits.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! The vector database façade: named collections + metadata, joined by patch id.
+//!
+//! This is the component the paper deploys inside Milvus. `lovo-core` ingests
+//! per-patch embeddings and metadata through [`VectorDatabase::insert_patch`],
+//! builds the index once after ingestion, and answers fast-search queries with
+//! [`VectorDatabase::search`], which returns hits already joined with their
+//! relational rows (frame id, bounding box, timestamp).
+
+use crate::collection::{CollectionConfig, CollectionStats, VectorCollection};
+use crate::metadata::{MetadataStore, PatchRecord};
+use crate::{Result, StoreError};
+use lovo_index::SearchStats;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A search hit joined with its metadata row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinedHit {
+    /// Patch id of the hit.
+    pub patch_id: u64,
+    /// Similarity score from the index.
+    pub score: f32,
+    /// The relational metadata row.
+    pub record: PatchRecord,
+}
+
+/// The vector database: named collections plus the shared metadata store.
+pub struct VectorDatabase {
+    collections: RwLock<HashMap<String, VectorCollection>>,
+    metadata: RwLock<MetadataStore>,
+}
+
+impl Default for VectorDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VectorDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self {
+            collections: RwLock::new(HashMap::new()),
+            metadata: RwLock::new(MetadataStore::new()),
+        }
+    }
+
+    /// Creates a collection with the given name and configuration. Replaces
+    /// any existing collection of the same name.
+    pub fn create_collection(&self, name: &str, config: CollectionConfig) -> Result<()> {
+        let collection = VectorCollection::new(name, config)?;
+        self.collections
+            .write()
+            .insert(name.to_string(), collection);
+        Ok(())
+    }
+
+    /// True when a collection with the given name exists.
+    pub fn has_collection(&self, name: &str) -> bool {
+        self.collections.read().contains_key(name)
+    }
+
+    /// Inserts a patch: its embedding into the named collection and its
+    /// metadata row into the relational store, both keyed by
+    /// `record.patch_id`.
+    pub fn insert_patch(&self, collection: &str, vector: &[f32], record: PatchRecord) -> Result<()> {
+        let mut collections = self.collections.write();
+        let col = collections
+            .get_mut(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        col.insert(record.patch_id, vector)?;
+        self.metadata.write().insert(record);
+        Ok(())
+    }
+
+    /// Builds (trains) the named collection's index.
+    pub fn build_collection(&self, collection: &str) -> Result<()> {
+        let mut collections = self.collections.write();
+        let col = collections
+            .get_mut(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        col.build()
+    }
+
+    /// Fast search: top-`k` joined hits for the query embedding.
+    pub fn search(&self, collection: &str, query: &[f32], k: usize) -> Result<Vec<JoinedHit>> {
+        Ok(self.search_with_stats(collection, query, k)?.0)
+    }
+
+    /// Fast search that also reports index probe statistics.
+    pub fn search_with_stats(
+        &self,
+        collection: &str,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<JoinedHit>, SearchStats)> {
+        let collections = self.collections.read();
+        let col = collections
+            .get(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        let (hits, stats) = col.search_with_stats(query, k)?;
+        let metadata = self.metadata.read();
+        let joined = hits
+            .into_iter()
+            .map(|hit| {
+                metadata.get(hit.id).map(|record| JoinedHit {
+                    patch_id: hit.id,
+                    score: hit.score,
+                    record: record.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok((joined, stats))
+    }
+
+    /// All metadata rows of one key frame (used by the rerank stage to pull a
+    /// candidate frame's patches).
+    pub fn frame_patches(&self, video_id: u32, frame_index: u32) -> Vec<PatchRecord> {
+        self.metadata
+            .read()
+            .patches_of_frame(video_id, frame_index)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Metadata row of a single patch.
+    pub fn patch(&self, patch_id: u64) -> Result<PatchRecord> {
+        self.metadata.read().get(patch_id).cloned()
+    }
+
+    /// Storage statistics of the named collection.
+    pub fn collection_stats(&self, collection: &str) -> Result<CollectionStats> {
+        let collections = self.collections.read();
+        let col = collections
+            .get(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        Ok(col.stats())
+    }
+
+    /// Total number of metadata rows.
+    pub fn metadata_rows(&self) -> usize {
+        self.metadata.read().len()
+    }
+
+    /// Approximate total storage footprint in bytes (index + metadata).
+    pub fn total_bytes(&self) -> usize {
+        let collections = self.collections.read();
+        let index_bytes: usize = collections.values().map(|c| c.stats().index_bytes).sum();
+        index_bytes + self.metadata.read().memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_index::IndexKind;
+
+    fn record(patch_id: u64, video: u32, frame: u32) -> PatchRecord {
+        PatchRecord {
+            patch_id,
+            video_id: video,
+            frame_index: frame,
+            patch_index: 0,
+            bbox: (0.0, 0.0, 10.0, 10.0),
+            timestamp: frame as f64 / 30.0,
+        }
+    }
+
+    fn vector(i: usize, dim: usize) -> Vec<f32> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(i as u64 + 1);
+        (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn insert_search_join_round_trip() {
+        let db = VectorDatabase::new();
+        db.create_collection("patches", CollectionConfig::new(16)).unwrap();
+        for i in 0..400 {
+            db.insert_patch("patches", &vector(i, 16), record(i as u64, 0, (i / 48) as u32))
+                .unwrap();
+        }
+        db.build_collection("patches").unwrap();
+        let hits = db.search("patches", &vector(123, 16), 5).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].patch_id, 123);
+        assert_eq!(hits[0].record.frame_index, (123 / 48) as u32);
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let db = VectorDatabase::new();
+        assert!(db.insert_patch("missing", &[0.0; 4], record(0, 0, 0)).is_err());
+        assert!(db.search("missing", &[0.0; 4], 1).is_err());
+        assert!(db.build_collection("missing").is_err());
+        assert!(db.collection_stats("missing").is_err());
+        assert!(!db.has_collection("missing"));
+    }
+
+    #[test]
+    fn frame_patches_returns_all_rows_of_frame() {
+        let db = VectorDatabase::new();
+        db.create_collection("patches", CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce))
+            .unwrap();
+        for i in 0..10u64 {
+            db.insert_patch("patches", &vector(i as usize, 8), record(i, 2, (i % 2) as u32))
+                .unwrap();
+        }
+        assert_eq!(db.frame_patches(2, 0).len(), 5);
+        assert_eq!(db.frame_patches(2, 1).len(), 5);
+        assert!(db.frame_patches(3, 0).is_empty());
+        assert_eq!(db.metadata_rows(), 10);
+    }
+
+    #[test]
+    fn patch_lookup() {
+        let db = VectorDatabase::new();
+        db.create_collection("p", CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce))
+            .unwrap();
+        db.insert_patch("p", &vector(0, 8), record(77, 1, 4)).unwrap();
+        assert_eq!(db.patch(77).unwrap().video_id, 1);
+        assert!(db.patch(78).is_err());
+    }
+
+    #[test]
+    fn stats_and_total_bytes() {
+        let db = VectorDatabase::new();
+        db.create_collection("p", CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce))
+            .unwrap();
+        for i in 0..50u64 {
+            db.insert_patch("p", &vector(i as usize, 8), record(i, 0, 0)).unwrap();
+        }
+        let stats = db.collection_stats("p").unwrap();
+        assert_eq!(stats.entities, 50);
+        assert!(db.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # lovo-store
+//!
+//! Storage layer of the LOVO reproduction (§V of the paper): a small vector
+//! database plus the relational metadata store it is paired with.
+//!
+//! The paper deploys LOVO inside Milvus; embeddings live in a vector
+//! collection indexed by PQ + inverted multi-index, while "supplementary
+//! metadata such as key frame identifiers and bounding box coordinates are
+//! stored separately in a relational database", joined through the shared
+//! *patch id*. This crate reproduces that split:
+//!
+//! * [`collection::VectorCollection`] — a named collection of L2-normalized
+//!   embeddings over any [`lovo_index::VectorIndex`] family, with insert /
+//!   build / search and growth statistics;
+//! * [`metadata::MetadataStore`] — the relational side: one row per patch
+//!   (patch id, video id, frame index, patch grid position, bounding box,
+//!   timestamp), with per-frame secondary indexes;
+//! * [`database::VectorDatabase`] — the façade joining the two, which is what
+//!   `lovo-core` talks to.
+
+pub mod collection;
+pub mod database;
+pub mod metadata;
+
+pub use collection::{CollectionConfig, CollectionStats, VectorCollection};
+pub use database::{JoinedHit, VectorDatabase};
+pub use metadata::{MetadataStore, PatchRecord};
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An error bubbled up from the index layer.
+    Index(lovo_index::IndexError),
+    /// A patch id was not found in the metadata store.
+    MissingMetadata(u64),
+    /// A collection with the requested name does not exist.
+    UnknownCollection(String),
+    /// The operation conflicts with the collection's configuration.
+    InvalidOperation(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Index(e) => write!(f, "index error: {e}"),
+            StoreError::MissingMetadata(id) => write!(f, "no metadata for patch id {id}"),
+            StoreError::UnknownCollection(name) => write!(f, "unknown collection '{name}'"),
+            StoreError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<lovo_index::IndexError> for StoreError {
+    fn from(e: lovo_index::IndexError) -> Self {
+        StoreError::Index(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

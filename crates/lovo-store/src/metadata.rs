@@ -1,0 +1,203 @@
+//! Relational metadata store.
+//!
+//! The vector database stores only embeddings and patch ids; everything
+//! needed to turn a hit back into a user-visible answer — which video, which
+//! key frame, which patch of the frame, which bounding box — lives in this
+//! relational side table, keyed by the shared patch id (§V-B). The store also
+//! maintains a per-frame secondary index so the rerank stage can fetch all
+//! patches of a candidate frame in one call.
+
+use crate::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One row of the patch metadata table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatchRecord {
+    /// Unique patch id (the join key with the vector collection).
+    pub patch_id: u64,
+    /// Video the patch belongs to.
+    pub video_id: u32,
+    /// Key-frame index within the video.
+    pub frame_index: u32,
+    /// Patch position in the frame's patch grid (row-major).
+    pub patch_index: u32,
+    /// Predicted bounding box `(x, y, w, h)` associated with the patch.
+    pub bbox: (f32, f32, f32, f32),
+    /// Timestamp of the key frame in seconds.
+    pub timestamp: f64,
+}
+
+impl PatchRecord {
+    /// Packed `(video, frame)` key used by the per-frame secondary index.
+    pub fn frame_key(&self) -> u64 {
+        (u64::from(self.video_id) << 32) | u64::from(self.frame_index)
+    }
+}
+
+/// The relational metadata store: a primary table keyed by patch id and a
+/// secondary index keyed by frame.
+#[derive(Debug, Default, Clone)]
+pub struct MetadataStore {
+    rows: HashMap<u64, PatchRecord>,
+    by_frame: HashMap<u64, Vec<u64>>,
+}
+
+impl MetadataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the store has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts (or replaces) a patch record.
+    pub fn insert(&mut self, record: PatchRecord) {
+        let frame_key = record.frame_key();
+        let patch_id = record.patch_id;
+        if let Some(previous) = self.rows.insert(patch_id, record) {
+            // Replacement: drop the stale secondary-index entry if the frame changed.
+            let old_key = previous.frame_key();
+            if old_key != frame_key {
+                if let Some(ids) = self.by_frame.get_mut(&old_key) {
+                    ids.retain(|&id| id != patch_id);
+                }
+            } else {
+                return; // same frame, secondary index already correct
+            }
+        }
+        self.by_frame.entry(frame_key).or_default().push(patch_id);
+    }
+
+    /// Fetches the record for a patch id.
+    pub fn get(&self, patch_id: u64) -> Result<&PatchRecord> {
+        self.rows
+            .get(&patch_id)
+            .ok_or(StoreError::MissingMetadata(patch_id))
+    }
+
+    /// Fetches the records for a batch of patch ids, preserving order.
+    pub fn get_many(&self, patch_ids: &[u64]) -> Result<Vec<&PatchRecord>> {
+        patch_ids.iter().map(|&id| self.get(id)).collect()
+    }
+
+    /// All patch records belonging to a `(video, frame)` pair.
+    pub fn patches_of_frame(&self, video_id: u32, frame_index: u32) -> Vec<&PatchRecord> {
+        let key = (u64::from(video_id) << 32) | u64::from(frame_index);
+        self.by_frame
+            .get(&key)
+            .map(|ids| ids.iter().filter_map(|id| self.rows.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct frames referenced by the store.
+    pub fn frame_count(&self) -> usize {
+        self.by_frame.len()
+    }
+
+    /// Approximate memory footprint in bytes (used by the storage ablation).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<PatchRecord>()
+            + self.by_frame.len() * std::mem::size_of::<u64>()
+            + self
+                .by_frame
+                .values()
+                .map(|v| v.len() * std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(patch_id: u64, video: u32, frame: u32) -> PatchRecord {
+        PatchRecord {
+            patch_id,
+            video_id: video,
+            frame_index: frame,
+            patch_index: (patch_id % 48) as u32,
+            bbox: (10.0, 20.0, 100.0, 50.0),
+            timestamp: frame as f64 / 30.0,
+        }
+    }
+
+    #[test]
+    fn insert_and_get_round_trip() {
+        let mut store = MetadataStore::new();
+        store.insert(record(1, 0, 10));
+        assert_eq!(store.len(), 1);
+        let r = store.get(1).unwrap();
+        assert_eq!(r.video_id, 0);
+        assert_eq!(r.frame_index, 10);
+        assert!(store.get(2).is_err());
+    }
+
+    #[test]
+    fn get_many_preserves_order() {
+        let mut store = MetadataStore::new();
+        for i in 0..5 {
+            store.insert(record(i, 0, i as u32));
+        }
+        let rows = store.get_many(&[3, 1, 4]).unwrap();
+        assert_eq!(rows.iter().map(|r| r.patch_id).collect::<Vec<_>>(), vec![3, 1, 4]);
+        assert!(store.get_many(&[3, 99]).is_err());
+    }
+
+    #[test]
+    fn frame_secondary_index_groups_patches() {
+        let mut store = MetadataStore::new();
+        store.insert(record(1, 0, 5));
+        store.insert(record(2, 0, 5));
+        store.insert(record(3, 0, 6));
+        store.insert(record(4, 1, 5));
+        let frame5 = store.patches_of_frame(0, 5);
+        assert_eq!(frame5.len(), 2);
+        assert!(frame5.iter().all(|r| r.frame_index == 5 && r.video_id == 0));
+        assert_eq!(store.patches_of_frame(1, 5).len(), 1);
+        assert!(store.patches_of_frame(9, 9).is_empty());
+        assert_eq!(store.frame_count(), 3);
+    }
+
+    #[test]
+    fn replacement_updates_secondary_index() {
+        let mut store = MetadataStore::new();
+        store.insert(record(7, 0, 1));
+        store.insert(record(7, 0, 2)); // same patch id moved to another frame
+        assert_eq!(store.len(), 1);
+        assert!(store.patches_of_frame(0, 1).is_empty());
+        assert_eq!(store.patches_of_frame(0, 2).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_same_frame_does_not_duplicate_index_entry() {
+        let mut store = MetadataStore::new();
+        store.insert(record(7, 0, 1));
+        store.insert(record(7, 0, 1));
+        assert_eq!(store.patches_of_frame(0, 1).len(), 1);
+    }
+
+    #[test]
+    fn frame_key_packs_video_and_frame() {
+        let r = record(1, 3, 9);
+        assert_eq!(r.frame_key(), (3u64 << 32) | 9);
+    }
+
+    #[test]
+    fn memory_estimate_grows() {
+        let mut store = MetadataStore::new();
+        let before = store.memory_bytes();
+        for i in 0..100 {
+            store.insert(record(i, 0, i as u32));
+        }
+        assert!(store.memory_bytes() > before);
+    }
+}

@@ -1,0 +1,210 @@
+//! Multi-head scaled dot-product attention.
+//!
+//! The same module implements self-attention (queries, keys and values all
+//! derived from one token matrix) and cross-attention (queries from one
+//! modality, keys/values from the other), which is exactly the layer structure
+//! the paper's feature enhancer and cross-modality decoder use (§VI-B):
+//! image-to-text attention uses `Q_image, K_text, V_text`; text-to-image
+//! attention swaps the roles.
+
+use crate::nn::Linear;
+use crate::ops::softmax_rows;
+use crate::{Matrix, Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Multi-head scaled dot-product attention with separate Q/K/V/O projections.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    num_heads: usize,
+    head_dim: usize,
+    q_proj: Linear,
+    k_proj: Linear,
+    v_proj: Linear,
+    out_proj: Linear,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block over `model_dim`-wide tokens with
+    /// `num_heads` heads. `model_dim` must be divisible by `num_heads`.
+    pub fn new(model_dim: usize, num_heads: usize, seed: u64, label: &str) -> Result<Self> {
+        if num_heads == 0 || model_dim == 0 {
+            return Err(TensorError::InvalidArgument(
+                "attention dimensions must be non-zero".to_string(),
+            ));
+        }
+        if model_dim % num_heads != 0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "model_dim {model_dim} not divisible by num_heads {num_heads}"
+            )));
+        }
+        Ok(Self {
+            num_heads,
+            head_dim: model_dim / num_heads,
+            q_proj: Linear::new(model_dim, model_dim, seed, &format!("{label}.q")),
+            k_proj: Linear::new(model_dim, model_dim, seed, &format!("{label}.k")),
+            v_proj: Linear::new(model_dim, model_dim, seed, &format!("{label}.v")),
+            out_proj: Linear::new(model_dim, model_dim, seed, &format!("{label}.o")),
+        })
+    }
+
+    /// Model (token embedding) dimension.
+    pub fn model_dim(&self) -> usize {
+        self.num_heads * self.head_dim
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// Self-attention: queries, keys and values all come from `tokens`.
+    pub fn self_attention(&self, tokens: &Matrix) -> Result<Matrix> {
+        self.cross_attention(tokens, tokens)
+    }
+
+    /// Cross-attention: queries come from `queries`, keys and values from
+    /// `context`. Output has one row per query token.
+    pub fn cross_attention(&self, queries: &Matrix, context: &Matrix) -> Result<Matrix> {
+        let model_dim = self.model_dim();
+        if queries.cols() != model_dim || context.cols() != model_dim {
+            return Err(TensorError::ShapeMismatch(format!(
+                "cross_attention: queries {}x{}, context {}x{}, model_dim {model_dim}",
+                queries.rows(),
+                queries.cols(),
+                context.rows(),
+                context.cols()
+            )));
+        }
+        if queries.rows() == 0 || context.rows() == 0 {
+            return Ok(Matrix::zeros(queries.rows(), model_dim));
+        }
+
+        let q = self.q_proj.forward(queries)?;
+        let k = self.k_proj.forward(context)?;
+        let v = self.v_proj.forward(context)?;
+
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut concat = Matrix::zeros(queries.rows(), model_dim);
+
+        for head in 0..self.num_heads {
+            let start = head * self.head_dim;
+            let end = start + self.head_dim;
+            let qh = q.columns(start, end)?;
+            let kh = k.columns(start, end)?;
+            let vh = v.columns(start, end)?;
+
+            // scores[i][j] = (q_i . k_j) / sqrt(d_head)
+            let mut scores = qh.matmul_transposed(&kh)?.scale(scale);
+            softmax_rows(&mut scores);
+            let head_out = scores.matmul(&vh)?;
+
+            for r in 0..concat.rows() {
+                concat.row_mut(r)[start..end].copy_from_slice(head_out.row(r));
+            }
+        }
+
+        self.out_proj.forward(&concat)
+    }
+
+    /// Returns the attention weights (after softmax) between `queries` and
+    /// `context`, averaged over heads. Shape `(num_queries, num_context)`.
+    ///
+    /// The rerank stage uses this to expose which image patch the query text
+    /// attends to, which in turn drives box selection.
+    pub fn attention_weights(&self, queries: &Matrix, context: &Matrix) -> Result<Matrix> {
+        let model_dim = self.model_dim();
+        if queries.cols() != model_dim || context.cols() != model_dim {
+            return Err(TensorError::ShapeMismatch(format!(
+                "attention_weights: queries {}x{}, context {}x{}, model_dim {model_dim}",
+                queries.rows(),
+                queries.cols(),
+                context.rows(),
+                context.cols()
+            )));
+        }
+        let q = self.q_proj.forward(queries)?;
+        let k = self.k_proj.forward(context)?;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut avg = Matrix::zeros(queries.rows(), context.rows());
+        for head in 0..self.num_heads {
+            let start = head * self.head_dim;
+            let end = start + self.head_dim;
+            let qh = q.columns(start, end)?;
+            let kh = k.columns(start, end)?;
+            let mut scores = qh.matmul_transposed(&kh)?.scale(scale);
+            softmax_rows(&mut scores);
+            avg = avg.add(&scores)?;
+        }
+        Ok(avg.scale(1.0 / self.num_heads as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_indivisible_heads() {
+        assert!(MultiHeadAttention::new(10, 3, 0, "a").is_err());
+        assert!(MultiHeadAttention::new(0, 1, 0, "a").is_err());
+        assert!(MultiHeadAttention::new(12, 3, 0, "a").is_ok());
+    }
+
+    #[test]
+    fn self_attention_preserves_shape() {
+        let attn = MultiHeadAttention::new(16, 4, 7, "enc").unwrap();
+        let tokens = Matrix::full(5, 16, 0.3);
+        let out = attn.self_attention(&tokens).unwrap();
+        assert_eq!(out.shape(), (5, 16));
+    }
+
+    #[test]
+    fn cross_attention_output_rows_follow_queries() {
+        let attn = MultiHeadAttention::new(8, 2, 7, "x").unwrap();
+        let q = Matrix::full(3, 8, 0.1);
+        let ctx = Matrix::full(6, 8, 0.2);
+        let out = attn.cross_attention(&q, &ctx).unwrap();
+        assert_eq!(out.shape(), (3, 8));
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        let attn = MultiHeadAttention::new(8, 2, 7, "x").unwrap();
+        let q = Matrix::zeros(0, 8);
+        let ctx = Matrix::full(4, 8, 0.2);
+        let out = attn.cross_attention(&q, &ctx).unwrap();
+        assert_eq!(out.shape(), (0, 8));
+    }
+
+    #[test]
+    fn attention_weights_are_row_stochastic() {
+        let attn = MultiHeadAttention::new(8, 2, 3, "w").unwrap();
+        let q = Matrix::from_vec(2, 8, (0..16).map(|v| v as f32 * 0.1).collect()).unwrap();
+        let ctx = Matrix::from_vec(4, 8, (0..32).map(|v| (v % 7) as f32 * 0.2).collect()).unwrap();
+        let w = attn.attention_weights(&q, &ctx).unwrap();
+        assert_eq!(w.shape(), (2, 4));
+        for r in 0..2 {
+            let sum: f32 = w.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn identical_tokens_attend_uniformly() {
+        let attn = MultiHeadAttention::new(8, 2, 3, "u").unwrap();
+        let ctx = Matrix::full(5, 8, 0.4);
+        let q = Matrix::full(1, 8, 0.4);
+        let w = attn.attention_weights(&q, &ctx).unwrap();
+        for j in 0..5 {
+            assert!((w.get(0, j) - 0.2).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let attn = MultiHeadAttention::new(8, 2, 3, "e").unwrap();
+        let q = Matrix::zeros(2, 6);
+        let ctx = Matrix::zeros(3, 8);
+        assert!(attn.cross_attention(&q, &ctx).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # lovo-tensor
+//!
+//! Minimal dense linear-algebra and neural-network building blocks used by the
+//! LOVO encoders (`lovo-encoder`). The crate intentionally implements only
+//! what the paper's model components need:
+//!
+//! * a row-major [`Matrix`] type with the usual matrix/vector operations,
+//! * numerically careful activation and normalization ops ([`ops`]),
+//! * [`Linear`](nn::Linear) layers, [`Mlp`](nn::Mlp) blocks, [`LayerNorm`](nn::LayerNorm),
+//! * multi-head self- and cross-attention ([`attention`]),
+//! * deterministic weight initialization ([`init`]) so that every experiment
+//!   is reproducible bit-for-bit across runs.
+//!
+//! Everything is `f32`, single-threaded, and allocation-conscious; the encoder
+//! workloads in this reproduction are small enough (embedding dims 64–768,
+//! token counts ≤ a few hundred) that a cache-friendly naive matmul is
+//! sufficient and keeps the substrate dependency-free.
+
+pub mod attention;
+pub mod init;
+pub mod matrix;
+pub mod nn;
+pub mod ops;
+
+pub use attention::MultiHeadAttention;
+pub use matrix::Matrix;
+pub use nn::{LayerNorm, Linear, Mlp};
+
+/// Error type for shape mismatches and invalid arguments in tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes. The message explains the operation.
+    ShapeMismatch(String),
+    /// An argument was invalid (e.g. zero dimension, non-divisible head count).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

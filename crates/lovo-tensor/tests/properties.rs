@@ -1,0 +1,96 @@
+//! Property-based tests for the tensor substrate.
+
+use lovo_tensor::ops::{
+    cosine_similarity, dot, euclidean, l2_norm, l2_normalize, similarity_to_distance,
+    softmax_inplace, top_k_indices,
+};
+use lovo_tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_is_a_distribution(mut v in prop::collection::vec(-50.0f32..50.0, 1..32)) {
+        softmax_inplace(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn normalization_gives_unit_vectors(mut v in small_vec(16)) {
+        let original_norm = l2_norm(&v);
+        l2_normalize(&mut v);
+        if original_norm > 1e-3 {
+            prop_assert!((l2_norm(&v) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded(a in small_vec(8), b in small_vec(8)) {
+        let s = cosine_similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&s));
+    }
+
+    #[test]
+    fn unit_vector_distance_matches_similarity(mut a in small_vec(8), mut b in small_vec(8)) {
+        l2_normalize(&mut a);
+        l2_normalize(&mut b);
+        if l2_norm(&a) > 0.5 && l2_norm(&b) > 0.5 {
+            let sim = dot(&a, &b);
+            let dist = euclidean(&a, &b);
+            prop_assert!((similarity_to_distance(sim) - dist).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_descending(v in prop::collection::vec(-100.0f32..100.0, 0..40), k in 0usize..50) {
+        let idx = top_k_indices(&v, k);
+        prop_assert_eq!(idx.len(), k.min(v.len()));
+        for w in idx.windows(2) {
+            prop_assert!(v[w[0]] >= v[w[1]]);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative_enough(
+        a in prop::collection::vec(-2.0f32..2.0, 6),
+        b in prop::collection::vec(-2.0f32..2.0, 6),
+        c in prop::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        // (A B) C == A (B C) for small matrices, within float tolerance.
+        let a = Matrix::from_vec(2, 3, a).unwrap();
+        let b = Matrix::from_vec(3, 2, b).unwrap();
+        let c = Matrix::from_vec(2, 2, c).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(data in prop::collection::vec(-5.0f32..5.0, 12)) {
+        let m = Matrix::from_vec(3, 4, data).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_transposed_agrees_with_naive(
+        a in prop::collection::vec(-3.0f32..3.0, 8),
+        b in prop::collection::vec(-3.0f32..3.0, 12),
+    ) {
+        let a = Matrix::from_vec(2, 4, a).unwrap();
+        let b = Matrix::from_vec(3, 4, b).unwrap();
+        let fast = a.matmul_transposed(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

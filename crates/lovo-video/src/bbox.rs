@@ -1,0 +1,192 @@
+//! Axis-aligned bounding boxes in pixel coordinates.
+//!
+//! Boxes use the `(x, y, w, h)` convention from the paper (§IV-C): `(x, y)` is
+//! the top-left corner, `w`/`h` the extent. Intersection-over-union follows
+//! the MSCOCO definition used by the evaluation (a detection is a positive
+//! match when IoU with a ground-truth box exceeds 0.5).
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box `(x, y, w, h)` in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Left edge in pixels.
+    pub x: f32,
+    /// Top edge in pixels.
+    pub y: f32,
+    /// Width in pixels (non-negative).
+    pub w: f32,
+    /// Height in pixels (non-negative).
+    pub h: f32,
+}
+
+impl BoundingBox {
+    /// Creates a box, clamping negative extents to zero.
+    pub fn new(x: f32, y: f32, w: f32, h: f32) -> Self {
+        Self {
+            x,
+            y,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
+    }
+
+    /// Creates a box from its center point and extent.
+    pub fn from_center(cx: f32, cy: f32, w: f32, h: f32) -> Self {
+        Self::new(cx - w / 2.0, cy - h / 2.0, w, h)
+    }
+
+    /// Area of the box in square pixels.
+    pub fn area(&self) -> f32 {
+        self.w * self.h
+    }
+
+    /// Center point `(cx, cy)`.
+    pub fn center(&self) -> (f32, f32) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f32 {
+        self.x + self.w
+    }
+
+    /// Bottom edge.
+    pub fn bottom(&self) -> f32 {
+        self.y + self.h
+    }
+
+    /// Intersection area with `other` (zero when disjoint).
+    pub fn intersection_area(&self, other: &BoundingBox) -> f32 {
+        let ix = (self.right().min(other.right()) - self.x.max(other.x)).max(0.0);
+        let iy = (self.bottom().min(other.bottom()) - self.y.max(other.y)).max(0.0);
+        ix * iy
+    }
+
+    /// Intersection-over-union with `other`. Returns 0.0 when both boxes are
+    /// degenerate (zero area).
+    pub fn iou(&self, other: &BoundingBox) -> f32 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= f32::EPSILON {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// True when the IoU with `other` exceeds the MSCOCO positive-match
+    /// threshold of 0.5 used throughout the evaluation (§VII-A).
+    pub fn matches(&self, other: &BoundingBox) -> bool {
+        self.iou(other) > 0.5
+    }
+
+    /// Euclidean distance between the two box centers.
+    pub fn center_distance(&self, other: &BoundingBox) -> f32 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Returns the box translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f32, dy: f32) -> BoundingBox {
+        BoundingBox::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+
+    /// Clamps the box to the frame `[0, width] x [0, height]`, shrinking it if
+    /// it extends past the border. A box fully outside collapses to zero area.
+    pub fn clamped(&self, width: f32, height: f32) -> BoundingBox {
+        let x0 = self.x.clamp(0.0, width);
+        let y0 = self.y.clamp(0.0, height);
+        let x1 = self.right().clamp(0.0, width);
+        let y1 = self.bottom().clamp(0.0, height);
+        BoundingBox::new(x0, y0, (x1 - x0).max(0.0), (y1 - y0).max(0.0))
+    }
+
+    /// Fraction of this box's area covered by `other` (0.0 for a degenerate box).
+    pub fn coverage_by(&self, other: &BoundingBox) -> f32 {
+        let a = self.area();
+        if a <= f32::EPSILON {
+            0.0
+        } else {
+            self.intersection_area(other) / a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_boxes_have_iou_one() {
+        let b = BoundingBox::new(10.0, 10.0, 50.0, 30.0);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+        assert!(b.matches(&b));
+    }
+
+    #[test]
+    fn disjoint_boxes_have_iou_zero() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(100.0, 100.0, 10.0, 10.0);
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn half_overlap_iou() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 0.0, 10.0, 10.0);
+        // intersection 50, union 150
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_boxes() {
+        let a = BoundingBox::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(a.iou(&a), 0.0);
+        assert_eq!(a.area(), 0.0);
+        let neg = BoundingBox::new(0.0, 0.0, -5.0, 10.0);
+        assert_eq!(neg.w, 0.0);
+    }
+
+    #[test]
+    fn from_center_round_trips() {
+        let b = BoundingBox::from_center(50.0, 40.0, 20.0, 10.0);
+        assert_eq!(b.center(), (50.0, 40.0));
+        assert_eq!(b.x, 40.0);
+        assert_eq!(b.y, 35.0);
+    }
+
+    #[test]
+    fn clamp_to_frame() {
+        let b = BoundingBox::new(-10.0, 5.0, 30.0, 200.0).clamped(100.0, 100.0);
+        assert_eq!(b.x, 0.0);
+        assert_eq!(b.right(), 20.0);
+        assert_eq!(b.bottom(), 100.0);
+        let outside = BoundingBox::new(500.0, 500.0, 10.0, 10.0).clamped(100.0, 100.0);
+        assert_eq!(outside.area(), 0.0);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let patch = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let obj = BoundingBox::new(0.0, 0.0, 5.0, 10.0);
+        assert!((patch.coverage_by(&obj) - 0.5).abs() < 1e-6);
+        assert!((obj.coverage_by(&patch) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn translation_moves_center() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 10.0).translated(5.0, -2.0);
+        assert_eq!(b.center(), (10.0, 3.0));
+    }
+
+    #[test]
+    fn center_distance_symmetric() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(30.0, 40.0, 10.0, 10.0);
+        assert!((a.center_distance(&b) - 50.0).abs() < 1e-5);
+        assert_eq!(a.center_distance(&b), b.center_distance(&a));
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build LOVO over a synthetic traffic-surveillance collection and
+//! run a complex object query.
+//!
+//! ```bash
+//! cargo run -p lovo-core --release --example quickstart
+//! ```
+
+use lovo_core::{Lovo, LovoConfig};
+use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+
+fn main() {
+    // 1. A video collection. In a real deployment this wraps decoded video;
+    //    here the synthetic Bellevue-style generator stands in (see DESIGN.md).
+    let videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue).with_frames_per_video(600),
+    );
+    println!(
+        "collection: {} videos, {} frames, {} object observations",
+        videos.videos.len(),
+        videos.total_frames(),
+        videos.total_object_observations()
+    );
+
+    // 2. One-time video summary + indexing (query-agnostic).
+    let lovo = Lovo::build(&videos, LovoConfig::default()).expect("build LOVO");
+    let stats = lovo.ingest_stats();
+    println!(
+        "ingested: {} key frames -> {} patch embeddings in {:.2}s (encode {:.2}s, index {:.2}s)",
+        stats.key_frames,
+        stats.patches_indexed,
+        stats.total_seconds(),
+        stats.encoding_seconds,
+        stats.indexing_seconds
+    );
+
+    // 3. Complex object queries: open vocabulary, detailed descriptions.
+    for query in [
+        "a red car driving in the center of the road",
+        "a red car side by side with another car, both positioned in the center of the road",
+        "a bus driving on the road with white roof and yellow-green body",
+    ] {
+        let result = lovo.query(query).expect("query");
+        println!("\nquery: {query}");
+        println!(
+            "  fast search: {} candidates in {:.4}s, rerank: {} frames in {:.3}s",
+            result.fast_search_candidates,
+            result.timings.fast_search_seconds,
+            result.reranked_frames,
+            result.timings.rerank_seconds
+        );
+        for (rank, hit) in result.frames.iter().take(3).enumerate() {
+            println!(
+                "  #{rank}: video {} frame {} @ {:.1}s  score {:.3}  box ({:.0},{:.0},{:.0},{:.0})",
+                hit.video_id,
+                hit.frame_index,
+                hit.timestamp,
+                hit.score,
+                hit.bbox.x,
+                hit.bbox.y,
+                hit.bbox.w,
+                hit.bbox.h
+            );
+        }
+    }
+}

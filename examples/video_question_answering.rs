@@ -1,0 +1,50 @@
+//! Video question answering: the ActivityNet-QA extension of §VII-F.
+//!
+//! Yes/no questions about object attributes are treated as object queries;
+//! a video answers "yes" when LOVO grounds the described object in one of its
+//! frames with a sufficiently high cross-modality score.
+//!
+//! ```bash
+//! cargo run -p lovo-bench --release --example video_question_answering
+//! ```
+
+use lovo_baselines::{LovoSystem, ObjectQuerySystem};
+use lovo_eval::experiments::{evaluate_query, ACCURACY_TOP_K};
+use lovo_eval::extension_queries;
+use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+
+fn main() {
+    let videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::ActivityNetQa)
+            .with_num_videos(12)
+            .with_frames_per_video(150),
+    );
+    let mut lovo = LovoSystem::default();
+    let pre = lovo.preprocess(&videos);
+    println!(
+        "indexed {} videos ({} frames) in {:.1}s modeled processing\n",
+        videos.videos.len(),
+        videos.total_frames(),
+        pre.modeled_seconds
+    );
+
+    for question in extension_queries() {
+        let (ap, response) = evaluate_query(&lovo, &videos, &question, ACCURACY_TOP_K);
+        // Per-video yes/no answer: does any returned frame of that video carry
+        // a confident grounding?
+        let mut positive_videos: Vec<u32> = response
+            .hits
+            .iter()
+            .filter(|h| h.score > 0.5)
+            .map(|h| h.video_id)
+            .collect();
+        positive_videos.sort_unstable();
+        positive_videos.dedup();
+        println!("{}  \"{}\"", question.id, question.text);
+        println!(
+            "  AveP {:.2}, search {:.1}s (modeled); videos answering \"yes\": {:?}",
+            ap, response.modeled_seconds, positive_videos
+        );
+    }
+    println!("\nExpected shape (paper Table VII): AveP in the 0.7-1.0 range on all four questions.");
+}

@@ -1,0 +1,137 @@
+//! Workspace integration tests: exercise the full pipeline across crates
+//! (video substrate -> encoders -> index -> store -> LOVO -> evaluation).
+
+use lovo_baselines::{LovoSystem, ObjectQuerySystem, Vocal, Zelda};
+use lovo_core::{Lovo, LovoConfig};
+use lovo_eval::experiments::{evaluate_query, ACCURACY_TOP_K};
+use lovo_eval::metrics::GroundTruthIndex;
+use lovo_eval::queries_for;
+use lovo_index::IndexKind;
+use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+
+fn bellevue(frames: usize) -> VideoCollection {
+    VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_frames_per_video(frames)
+            .with_seed(77),
+    )
+}
+
+/// Generates a collection of the given kind in which `query_id` has at least
+/// a handful of ground-truth frames, retrying over seeds: downsized synthetic
+/// collections do not always contain every rare target by chance.
+fn collection_with_ground_truth(
+    kind: DatasetKind,
+    frames: usize,
+    query_id: &str,
+) -> (VideoCollection, lovo_video::query::ObjectQuery) {
+    let query = queries_for(kind)
+        .into_iter()
+        .find(|q| q.id == query_id)
+        .expect("query id exists");
+    for seed in 0..16u64 {
+        let videos = VideoCollection::generate(
+            DatasetConfig::for_kind(kind)
+                .with_frames_per_video(frames)
+                .with_seed(1000 + seed),
+        );
+        let gt = GroundTruthIndex::build(&videos, &query);
+        if gt.positive_frames() >= 5 {
+            return (videos, query);
+        }
+    }
+    panic!("no seed produced ground truth for {query_id} on {kind:?}");
+}
+
+#[test]
+fn lovo_beats_predefined_class_index_on_complex_queries() {
+    let (videos, complex) =
+        collection_with_ground_truth(DatasetKind::Bellevue, 700, "Q2.2");
+    let complex = &complex;
+
+    let mut vocal = Vocal::new();
+    vocal.preprocess(&videos);
+    let mut lovo = LovoSystem::default();
+    lovo.preprocess(&videos);
+
+    let (vocal_ap, vocal_resp) = evaluate_query(&vocal, &videos, complex, ACCURACY_TOP_K);
+    let (lovo_ap, lovo_resp) = evaluate_query(&lovo, &videos, complex, ACCURACY_TOP_K);
+
+    assert!(!vocal_resp.supported, "VOCAL cannot express relation queries");
+    assert!(lovo_resp.supported);
+    assert!(
+        lovo_ap > vocal_ap,
+        "LOVO AveP {lovo_ap} should beat VOCAL {vocal_ap} on the complex query"
+    );
+    assert!(lovo_ap > 0.1, "LOVO should retrieve at least some correct frames");
+}
+
+#[test]
+fn rerank_improves_complex_query_accuracy() {
+    let (videos, complex) =
+        collection_with_ground_truth(DatasetKind::Bellevue, 600, "Q2.2");
+    let complex = &complex;
+
+    let mut full = LovoSystem::new(LovoConfig::default());
+    full.preprocess(&videos);
+    let mut no_rerank = LovoSystem::new(LovoConfig::ablation_without_rerank());
+    no_rerank.preprocess(&videos);
+
+    let (full_ap, _) = evaluate_query(&full, &videos, complex, ACCURACY_TOP_K);
+    let (ablated_ap, _) = evaluate_query(&no_rerank, &videos, complex, ACCURACY_TOP_K);
+    assert!(
+        full_ap >= ablated_ap,
+        "rerank must not hurt complex-query AveP (full {full_ap} vs ablated {ablated_ap})"
+    );
+}
+
+#[test]
+fn all_index_families_answer_queries_consistently() {
+    let videos = bellevue(300);
+    let query = &queries_for(DatasetKind::Bellevue)[0];
+    let ground_truth = GroundTruthIndex::build(&videos, query);
+    assert!(!ground_truth.is_empty());
+
+    for kind in [IndexKind::BruteForce, IndexKind::IvfPq, IndexKind::Hnsw] {
+        let lovo = Lovo::build(&videos, LovoConfig::default().with_index_kind(kind))
+            .unwrap_or_else(|e| panic!("build with {kind:?} failed: {e}"));
+        let result = lovo.query(&query.text).unwrap();
+        assert!(
+            !result.frames.is_empty(),
+            "{kind:?} produced no results for {}",
+            query.id
+        );
+    }
+}
+
+#[test]
+fn zelda_baseline_and_lovo_agree_on_easy_queries() {
+    // On a simple, large-object query both the frame-level baseline and LOVO
+    // should retrieve relevant frames; this guards the shared attribute space
+    // against regressions that would silently break one of the two paths.
+    let (videos, simple) = collection_with_ground_truth(DatasetKind::Beach, 500, "Q4.1");
+    let simple = &simple;
+
+    let mut zelda = Zelda::new();
+    zelda.preprocess(&videos);
+    let mut lovo = LovoSystem::default();
+    lovo.preprocess(&videos);
+
+    let (zelda_ap, _) = evaluate_query(&zelda, &videos, simple, ACCURACY_TOP_K);
+    let (lovo_ap, _) = evaluate_query(&lovo, &videos, simple, ACCURACY_TOP_K);
+    assert!(zelda_ap > 0.05, "ZELDA should find green buses (got {zelda_ap})");
+    assert!(lovo_ap > 0.05, "LOVO should find green buses (got {lovo_ap})");
+}
+
+#[test]
+fn storage_footprint_reports_are_consistent() {
+    let videos = bellevue(300);
+    let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+    let stats = lovo
+        .database()
+        .collection_stats(lovo_core::summary::PATCH_COLLECTION)
+        .unwrap();
+    assert_eq!(stats.entities, lovo.indexed_patches());
+    assert!(stats.index_bytes < stats.raw_bytes, "PQ index must compress the raw embeddings");
+    assert!(lovo.storage_bytes() >= stats.index_bytes);
+}
