@@ -89,14 +89,18 @@ impl ObjectQuerySystem for Figo {
 
         // Pass 2: verify the best candidates with the accurate detector and
         // the attribute classifier.
-        candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let verify_count = ((candidates.len() as f32) * self.verify_fraction).ceil() as usize;
         let verify_count = verify_count.max(top.min(candidates.len()));
         let mut verified: Vec<RankedHit> = Vec::new();
         let mut objects_classified = 0usize;
         for candidate in candidates.iter().take(verify_count) {
-            let frame = &videos.videos[candidate.video_id as usize].frames
-                [candidate.frame_index as usize];
+            let frame =
+                &videos.videos[candidate.video_id as usize].frames[candidate.frame_index as usize];
             let detections = self.accurate_detector.detect(frame);
             // Keep the candidate if the accurate detector confirms an object of
             // the right class overlapping the fast box, and the attribute
@@ -116,7 +120,9 @@ impl ObjectQuerySystem for Figo {
                     || constraints.location.is_some();
                 if needs_attributes {
                     objects_classified += 1;
-                    let predicted = self.classifier.classify(frame.index, src, &frame.objects[src]);
+                    let predicted = self
+                        .classifier
+                        .classify(frame.index, src, &frame.objects[src]);
                     let mut ok = true;
                     if let Some(color) = constraints.color {
                         ok &= predicted.color == color;
@@ -212,7 +218,10 @@ mod tests {
         let q = truck_query();
         let figo_cost = figo.query(&collection, &q, 10).modeled_seconds;
         let miris_cost = miris.query(&collection, &q, 10).modeled_seconds;
-        assert!(figo_cost < miris_cost, "FiGO {figo_cost} vs MIRIS {miris_cost}");
+        assert!(
+            figo_cost < miris_cost,
+            "FiGO {figo_cost} vs MIRIS {miris_cost}"
+        );
         assert!(figo_cost > 10.0, "FiGO still rescans the video per query");
     }
 

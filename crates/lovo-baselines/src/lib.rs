@@ -128,9 +128,24 @@ mod tests {
     #[test]
     fn finalize_hits_sorts_and_truncates() {
         let hits = vec![
-            RankedHit { video_id: 0, frame_index: 5, bbox: BoundingBox::new(0.0, 0.0, 1.0, 1.0), score: 0.2 },
-            RankedHit { video_id: 0, frame_index: 1, bbox: BoundingBox::new(0.0, 0.0, 1.0, 1.0), score: 0.9 },
-            RankedHit { video_id: 1, frame_index: 2, bbox: BoundingBox::new(0.0, 0.0, 1.0, 1.0), score: 0.9 },
+            RankedHit {
+                video_id: 0,
+                frame_index: 5,
+                bbox: BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+                score: 0.2,
+            },
+            RankedHit {
+                video_id: 0,
+                frame_index: 1,
+                bbox: BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+                score: 0.9,
+            },
+            RankedHit {
+                video_id: 1,
+                frame_index: 2,
+                bbox: BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+                score: 0.9,
+            },
         ];
         let out = finalize_hits(hits, 2);
         assert_eq!(out.len(), 2);

@@ -153,7 +153,9 @@ mod tests {
         let collection = videos();
         let mut lovo = LovoSystem::default();
         lovo.preprocess(&collection);
-        let lovo_cost = lovo.query(&collection, &red_center_query(), 10).modeled_seconds;
+        let lovo_cost = lovo
+            .query(&collection, &red_center_query(), 10)
+            .modeled_seconds;
         let miris_cost = crate::Miris::new()
             .query(&collection, &red_center_query(), 10)
             .modeled_seconds;

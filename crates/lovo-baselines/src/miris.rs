@@ -89,7 +89,8 @@ impl ObjectQuerySystem for Miris {
                         if needs_attributes {
                             objects_classified += 1;
                             let predicted =
-                                self.classifier.classify(frame.index, src, &frame.objects[src]);
+                                self.classifier
+                                    .classify(frame.index, src, &frame.objects[src]);
                             let mut matched = 0f32;
                             let mut total = 0f32;
                             if let Some(color) = constraints.color {

@@ -81,8 +81,12 @@ impl ObjectQuerySystem for Umt {
             for window in sampled.chunks(self.moment_length.max(1)) {
                 let mut embedding = vec![0.0f32; space.dim()];
                 let mut frame_indices = Vec::with_capacity(window.len());
-                let mut best_box =
-                    BoundingBox::new(0.0, 0.0, video.frames[0].width as f32, video.frames[0].height as f32);
+                let mut best_box = BoundingBox::new(
+                    0.0,
+                    0.0,
+                    video.frames[0].width as f32,
+                    video.frames[0].height as f32,
+                );
                 let mut best_area = 0.0f32;
                 for frame in window {
                     frames_processed += 1;

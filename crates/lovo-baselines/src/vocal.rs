@@ -61,20 +61,22 @@ impl ObjectQuerySystem for Vocal {
             for frame in extractor.select(&video.frames) {
                 frames_processed += 1;
                 for det in self.detector.detect(frame) {
-                    self.index.entry(det.label.clone()).or_default().push(RankedHit {
-                        video_id: video.id,
-                        frame_index: frame.index as u32,
-                        bbox: det.bbox,
-                        score: det.confidence,
-                    });
+                    self.index
+                        .entry(det.label.clone())
+                        .or_default()
+                        .push(RankedHit {
+                            video_id: video.id,
+                            frame_index: frame.index as u32,
+                            bbox: det.bbox,
+                            score: det.confidence,
+                        });
                 }
             }
         }
         PreprocessReport {
             wall_seconds: start.elapsed().as_secs_f64(),
             // One detector pass per sampled frame, plus scene-graph assembly.
-            modeled_seconds: frames_processed as f64
-                * (self.detector.cost_per_frame_ms() + 4.0)
+            modeled_seconds: frames_processed as f64 * (self.detector.cost_per_frame_ms() + 4.0)
                 / 1000.0,
             frames_processed,
         }
@@ -132,7 +134,10 @@ mod tests {
         ObjectQuery::new(
             "S1",
             "car",
-            QueryConstraints { class: Some(ObjectClass::Car), ..Default::default() },
+            QueryConstraints {
+                class: Some(ObjectClass::Car),
+                ..Default::default()
+            },
             QueryComplexity::Simple,
         )
     }
@@ -147,7 +152,10 @@ mod tests {
         let response = vocal.query(&collection, &simple_car_query(), 20);
         assert!(response.supported);
         assert!(!response.hits.is_empty());
-        assert!(response.modeled_seconds < 1.0, "index lookups are sub-second");
+        assert!(
+            response.modeled_seconds < 1.0,
+            "index lookups are sub-second"
+        );
     }
 
     #[test]

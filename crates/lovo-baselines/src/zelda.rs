@@ -195,12 +195,14 @@ mod tests {
                     .objects
                     .iter()
                     .any(|o| {
-                        o.attributes.class == ObjectClass::Bus
-                            && o.attributes.color == Color::Green
+                        o.attributes.class == ObjectClass::Bus && o.attributes.color == Color::Green
                     })
             })
             .count();
-        assert!(correct >= 3, "only {correct}/5 top hits contain a green bus");
+        assert!(
+            correct >= 3,
+            "only {correct}/5 top hits contain a green bus"
+        );
     }
 
     #[test]

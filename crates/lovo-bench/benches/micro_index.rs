@@ -30,9 +30,15 @@ fn bench_pq(c: &mut Criterion) {
     let sample = random_unit_vectors(4_000, 7);
     let pq = ProductQuantizer::train(PqConfig::for_dim(DIM), &sample).unwrap();
     let query = &sample[0];
-    let codes: Vec<_> = sample.iter().take(1_000).map(|v| pq.encode(v).unwrap()).collect();
+    let codes: Vec<_> = sample
+        .iter()
+        .take(1_000)
+        .map(|v| pq.encode(v).unwrap())
+        .collect();
     let mut group = c.benchmark_group("pq");
-    group.bench_function("encode", |b| b.iter(|| pq.encode(black_box(query)).unwrap()));
+    group.bench_function("encode", |b| {
+        b.iter(|| pq.encode(black_box(query)).unwrap())
+    });
     group.bench_function("adc_scan_1k", |b| {
         b.iter(|| {
             let table = pq.adc_table(black_box(query)).unwrap();

@@ -6,7 +6,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lovo_core::{Lovo, LovoConfig};
 use lovo_encoder::cross_modality::CandidateFrame;
-use lovo_encoder::{CrossModalityConfig, CrossModalityTransformer, TextEncoder, TextEncoderConfig, VisualEncoder, VisualEncoderConfig};
+use lovo_encoder::{
+    CrossModalityConfig, CrossModalityTransformer, TextEncoder, TextEncoderConfig, VisualEncoder,
+    VisualEncoderConfig,
+};
 use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
 use std::hint::black_box;
 

@@ -16,12 +16,24 @@
 
 /// Reads the experiment scale factor from the first CLI argument or the
 /// `LOVO_SCALE` environment variable, defaulting to 1.0 and clamping to
-/// `(0, 1]`.
+/// `(0, 1]`. An unparseable value warns on stderr rather than silently
+/// running at full scale.
 pub fn scale_from_args() -> f64 {
-    let arg = std::env::args().nth(1);
-    let env = std::env::var("LOVO_SCALE").ok();
-    arg.or(env)
-        .and_then(|s| s.parse::<f64>().ok())
+    let parse = |source: &str, s: String| match s.parse::<f64>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: ignoring non-numeric scale {s:?} from {source}");
+            None
+        }
+    };
+    std::env::args()
+        .nth(1)
+        .and_then(|s| parse("argv[1]", s))
+        .or_else(|| {
+            std::env::var("LOVO_SCALE")
+                .ok()
+                .and_then(|s| parse("LOVO_SCALE", s))
+        })
         .map(|s| s.clamp(0.01, 1.0))
         .unwrap_or(1.0)
 }
@@ -31,6 +43,8 @@ mod tests {
     #[test]
     fn scale_defaults_to_one() {
         // No CLI arg / env var in the test harness beyond the test name.
-        assert!((super::scale_from_args() - 1.0).abs() < f64::EPSILON || super::scale_from_args() > 0.0);
+        assert!(
+            (super::scale_from_args() - 1.0).abs() < f64::EPSILON || super::scale_from_args() > 0.0
+        );
     }
 }

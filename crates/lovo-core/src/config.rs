@@ -25,6 +25,12 @@ pub struct LovoConfig {
     pub fast_search_k: usize,
     /// Number of frames returned to the user (the `n` of Algorithm 2).
     pub output_frames: usize,
+    /// Upper bound on the distinct candidate frames handed to the
+    /// cross-modality rerank. The fast search may touch many frames (its `k`
+    /// counts patches); the expensive transformer stage processes at most this
+    /// many of them, best fast-search score first, which keeps per-query
+    /// latency bounded as collections grow (Fig. 10).
+    pub rerank_frames: usize,
     /// Whether the cross-modality rerank runs at all. `false` reproduces the
     /// "w/o Rerank" ablation of Table IV (fast-search order is returned).
     pub enable_rerank: bool,
@@ -42,8 +48,9 @@ impl Default for LovoConfig {
             cross_modality: CrossModalityConfig::default(),
             keyframe_policy: KeyframePolicy::default(),
             index_kind: IndexKind::IvfPq,
-            fast_search_k: 100,
+            fast_search_k: 400,
             output_frames: 20,
+            rerank_frames: 64,
             enable_rerank: true,
             min_objectness: 0.0,
         }
@@ -81,6 +88,12 @@ impl LovoConfig {
         self
     }
 
+    /// Builder-style override of the rerank candidate-frame budget.
+    pub fn with_rerank_frames(mut self, n: usize) -> Self {
+        self.rerank_frames = n.max(1);
+        self
+    }
+
     /// The "w/o Rerank" ablation configuration of Table IV.
     pub fn ablation_without_rerank() -> Self {
         Self::default().with_rerank(false)
@@ -110,8 +123,8 @@ impl LovoConfig {
         if self.visual.seed != self.text.seed || self.visual.seed != self.cross_modality.seed {
             return Err("visual, text and cross-modality seeds must match (shared space)".into());
         }
-        if self.fast_search_k == 0 || self.output_frames == 0 {
-            return Err("fast_search_k and output_frames must be positive".into());
+        if self.fast_search_k == 0 || self.output_frames == 0 || self.rerank_frames == 0 {
+            return Err("fast_search_k, output_frames and rerank_frames must be positive".into());
         }
         Ok(())
     }
@@ -153,7 +166,9 @@ mod tests {
 
     #[test]
     fn builders_clamp_to_positive() {
-        let c = LovoConfig::default().with_fast_search_k(0).with_output_frames(0);
+        let c = LovoConfig::default()
+            .with_fast_search_k(0)
+            .with_output_frames(0);
         assert_eq!(c.fast_search_k, 1);
         assert_eq!(c.output_frames, 1);
     }

@@ -173,6 +173,14 @@ impl Lovo {
             }
         }
 
+        // Bound the expensive rerank stage: `frame_order` lists frames in
+        // order of their best patch's fast-search rank (the search returns
+        // patches best-first and a frame is recorded at its first patch), so
+        // truncation keeps the strongest candidate frames.
+        if self.config.enable_rerank {
+            frame_order.truncate(self.config.rerank_frames);
+        }
+
         // --- Stage 2: cross-modality rerank over the candidate frames. ---
         let rerank_start = Instant::now();
         let frames = if self.config.enable_rerank {
@@ -270,7 +278,9 @@ mod tests {
         assert!(lovo.indexed_patches() > 0);
         assert!(lovo.storage_bytes() > 0);
 
-        let result = lovo.query("a red car driving in the center of the road").unwrap();
+        let result = lovo
+            .query("a red car driving in the center of the road")
+            .unwrap();
         assert!(!result.frames.is_empty());
         assert!(result.frames.len() <= lovo.config().output_frames);
         assert!(result.fast_search_candidates > 0);
@@ -337,6 +347,15 @@ mod tests {
         )
         .unwrap();
         let result = lovo.query("a bus driving on the road").unwrap();
+        assert!(!result.frames.is_empty());
+    }
+
+    #[test]
+    fn rerank_budget_caps_reranked_frames() {
+        let videos = bellevue(240);
+        let lovo = Lovo::build(&videos, LovoConfig::default().with_rerank_frames(3)).unwrap();
+        let result = lovo.query("a red car on the road").unwrap();
+        assert!(result.reranked_frames <= 3);
         assert!(!result.frames.is_empty());
     }
 

@@ -150,13 +150,12 @@ impl VideoSummarizer {
     }
 
     /// Encodes the selected key frames, splitting the work across a small
-    /// crossbeam scope when more than one CPU is available.
+    /// scoped-thread pool when more than one CPU is available.
     fn encode_parallel(&self, selected: &[(u32, &Frame)]) -> Result<Vec<FrameEncoding>> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(4)
-            .max(1);
+            .clamp(1, 4);
         if workers == 1 || selected.len() < 32 {
             return selected
                 .iter()
@@ -165,11 +164,11 @@ impl VideoSummarizer {
         }
         let chunk_size = selected.len().div_ceil(workers);
         let chunks: Vec<&[(u32, &Frame)]> = selected.chunks(chunk_size).collect();
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         chunk
                             .iter()
                             .map(|(_, frame)| self.encoder.encode_frame(frame))
@@ -181,8 +180,7 @@ impl VideoSummarizer {
                 .into_iter()
                 .map(|h| h.join().expect("encoder worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut encodings = Vec::with_capacity(selected.len());
         for chunk_result in results {
@@ -261,8 +259,7 @@ mod tests {
         let db_kf = VectorDatabase::new();
         let db_all = VectorDatabase::new();
         let with_kf = VideoSummarizer::new(&LovoConfig::default()).unwrap();
-        let without_kf =
-            VideoSummarizer::new(&LovoConfig::ablation_without_keyframe()).unwrap();
+        let without_kf = VideoSummarizer::new(&LovoConfig::ablation_without_keyframe()).unwrap();
         let (kf_stats, _) = with_kf.ingest(&videos, &db_kf).unwrap();
         let (all_stats, _) = without_kf.ingest(&videos, &db_all).unwrap();
         assert!(all_stats.key_frames > kf_stats.key_frames);
@@ -272,8 +269,10 @@ mod tests {
     #[test]
     fn objectness_filter_shrinks_collection() {
         let videos = small_collection();
-        let mut config = LovoConfig::default();
-        config.min_objectness = 0.05;
+        let config = LovoConfig {
+            min_objectness: 0.05,
+            ..LovoConfig::default()
+        };
         let filtered = VideoSummarizer::new(&config).unwrap();
         let db_filtered = VectorDatabase::new();
         let (filtered_stats, _) = filtered.ingest(&videos, &db_filtered).unwrap();

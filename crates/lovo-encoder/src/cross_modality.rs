@@ -210,7 +210,8 @@ impl CrossModalityTransformer {
             let mut per_text_max = vec![f32::NEG_INFINITY; text_tokens.len()];
             for img_token in start..end {
                 for (t, slot) in per_text_max.iter_mut().enumerate() {
-                    let combined = 0.8 * raw_alignment[img_token][t] + 0.2 * fused_alignment[img_token][t];
+                    let combined =
+                        0.8 * raw_alignment[img_token][t] + 0.2 * fused_alignment[img_token][t];
                     if combined > *slot {
                         *slot = combined;
                     }
@@ -243,7 +244,8 @@ impl CrossModalityTransformer {
     ) -> Result<Vec<RerankedFrame>> {
         let mut out = Vec::with_capacity(candidates.len());
         for candidate in candidates {
-            let (score, bbox) = self.score_frame(constraints, candidate.frame, candidate.seed_box)?;
+            let (score, bbox) =
+                self.score_frame(constraints, candidate.frame, candidate.seed_box)?;
             out.push(RerankedFrame {
                 video_id: candidate.video_id,
                 frame_index: candidate.frame.index,
@@ -311,11 +313,15 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(CrossModalityConfig::default().validate().is_ok());
-        let mut c = CrossModalityConfig::default();
-        c.heads = 5;
+        let c = CrossModalityConfig {
+            heads: 5,
+            ..CrossModalityConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = CrossModalityConfig::default();
-        c.fusion_strength = 2.0;
+        let c = CrossModalityConfig {
+            fusion_strength: 2.0,
+            ..CrossModalityConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -338,9 +344,21 @@ mod tests {
             2,
         );
         let candidates = vec![
-            CandidateFrame { video_id: 0, frame: &wrong_color, seed_box: None },
-            CandidateFrame { video_id: 0, frame: &target, seed_box: None },
-            CandidateFrame { video_id: 0, frame: &wrong_class, seed_box: None },
+            CandidateFrame {
+                video_id: 0,
+                frame: &wrong_color,
+                seed_box: None,
+            },
+            CandidateFrame {
+                video_id: 0,
+                frame: &target,
+                seed_box: None,
+            },
+            CandidateFrame {
+                video_id: 0,
+                frame: &wrong_class,
+                seed_box: None,
+            },
         ];
         let ranked = t.rerank(query, &candidates).unwrap();
         assert_eq!(ranked[0].frame_index, 0, "target frame should rank first");
@@ -365,8 +383,16 @@ mod tests {
             1,
         );
         let candidates = vec![
-            CandidateFrame { video_id: 0, frame: &without_rel, seed_box: None },
-            CandidateFrame { video_id: 0, frame: &with_rel, seed_box: None },
+            CandidateFrame {
+                video_id: 0,
+                frame: &without_rel,
+                seed_box: None,
+            },
+            CandidateFrame {
+                video_id: 0,
+                frame: &with_rel,
+                seed_box: None,
+            },
         ];
         let ranked = t.rerank(query, &candidates).unwrap();
         assert_eq!(ranked[0].frame_index, 0);
@@ -427,7 +453,11 @@ mod tests {
             .collect();
         let candidates: Vec<CandidateFrame> = frames
             .iter()
-            .map(|f| CandidateFrame { video_id: 0, frame: f, seed_box: None })
+            .map(|f| CandidateFrame {
+                video_id: 0,
+                frame: f,
+                seed_box: None,
+            })
             .collect();
         let a = t.rerank("a red car on the road", &candidates).unwrap();
         let b = t.rerank("a red car on the road", &candidates).unwrap();

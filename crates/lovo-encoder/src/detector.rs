@@ -204,11 +204,13 @@ impl Default for AttributeClassifier {
 impl AttributeClassifier {
     /// Predicts the facet attributes of a detected object. With probability
     /// `1 - accuracy` per facet, a different value is returned.
-    pub fn classify(&self, frame_index: usize, object_index: usize, object: &SceneObject) -> PredictedAttributes {
-        let mut rng = rng_for(
-            self.seed,
-            &format!("attr.{frame_index}.{object_index}"),
-        );
+    pub fn classify(
+        &self,
+        frame_index: usize,
+        object_index: usize,
+        object: &SceneObject,
+    ) -> PredictedAttributes {
+        let mut rng = rng_for(self.seed, &format!("attr.{frame_index}.{object_index}"));
         let truth = &object.attributes;
         let flip = |rng: &mut rand::rngs::SmallRng| rng.gen_range(0.0f32..1.0) > self.accuracy;
         let color = if flip(&mut rng) {

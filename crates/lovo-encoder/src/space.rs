@@ -150,10 +150,7 @@ impl AttributeSpace {
     /// colours stay nearly orthogonal.
     pub fn color_direction(&self, color: Color) -> Vec<f32> {
         let own = self.direction(AttributeFacet::Color, color.code());
-        let family = self.direction(
-            AttributeFacet::ColorFamily,
-            Self::color_family_code(color),
-        );
+        let family = self.direction(AttributeFacet::ColorFamily, Self::color_family_code(color));
         let mut blended: Vec<f32> = own
             .iter()
             .zip(family.iter())
@@ -247,7 +244,11 @@ impl AttributeSpace {
 
     /// Embeds the constraints of a query at the requested detail level.
     /// The result is L2-normalized. Unconstrained facets contribute nothing.
-    pub fn embed_constraints(&self, constraints: &QueryConstraints, level: DetailLevel) -> Vec<f32> {
+    pub fn embed_constraints(
+        &self,
+        constraints: &QueryConstraints,
+        level: DetailLevel,
+    ) -> Vec<f32> {
         let weights = match level {
             DetailLevel::Coarse => COARSE_WEIGHTS,
             DetailLevel::Fine => FINE_WEIGHTS,

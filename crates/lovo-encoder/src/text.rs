@@ -112,7 +112,12 @@ impl TextEncoder {
                 config.seed,
                 "txt.attn",
             )?,
-            output_proj: Linear::new(config.token_dim, config.class_dim, config.seed, "txt.output"),
+            output_proj: Linear::new(
+                config.token_dim,
+                config.class_dim,
+                config.seed,
+                "txt.output",
+            ),
             config,
         })
     }
@@ -143,10 +148,8 @@ impl TextEncoder {
         let has = |needle: &str| lower.contains(needle);
         let has_word = |w: &str| tokens.iter().any(|t| t == w);
 
-        let mut c = QueryConstraints::default();
-
         // --- object class ---
-        c.class = if has_word("suv") {
+        let class = if has_word("suv") {
             Some(ObjectClass::Suv)
         } else if has_word("bus") {
             Some(ObjectClass::Bus)
@@ -166,6 +169,11 @@ impl TextEncoder {
             Some(ObjectClass::Car)
         } else {
             None
+        };
+
+        let mut c = QueryConstraints {
+            class,
+            ..QueryConstraints::default()
         };
 
         // --- gender ---
@@ -250,12 +258,8 @@ impl TextEncoder {
 
         // --- relations ---
         if has("side by side") {
-            let peer = if has("another car") || has("with another car") {
-                ObjectClass::Car
-            } else {
-                ObjectClass::Car
-            };
-            c.relation = Some(Relation::SideBySideWith(peer));
+            // Table II's side-by-side queries always pair with another car.
+            c.relation = Some(Relation::SideBySideWith(ObjectClass::Car));
         } else if has("next to") {
             let peer = if has("next to a woman") || has("next to the woman") {
                 ObjectClass::Person
@@ -420,7 +424,8 @@ mod tests {
 
     #[test]
     fn parses_bus_with_white_roof() {
-        let c = TextEncoder::parse("A bus driving on the road with white roof and yellow-green body.");
+        let c =
+            TextEncoder::parse("A bus driving on the road with white roof and yellow-green body.");
         assert_eq!(c.class, Some(ObjectClass::Bus));
         assert_eq!(c.color, Some(Color::YellowGreen));
         assert!(c.accessories.contains(&Accessory::WhiteRoof));
@@ -428,13 +433,16 @@ mod tests {
 
     #[test]
     fn parses_person_and_dog_queries() {
-        let c = TextEncoder::parse("A person in light-colored clothing walking while holding a dark bag.");
+        let c = TextEncoder::parse(
+            "A person in light-colored clothing walking while holding a dark bag.",
+        );
         assert_eq!(c.class, Some(ObjectClass::Person));
         assert_eq!(c.color, Some(Color::Light));
         assert_eq!(c.activity, Some(Activity::Walking));
         assert!(c.accessories.contains(&Accessory::DarkBag));
 
-        let d = TextEncoder::parse("A white dog inside a car, next to a woman wearing black clothes.");
+        let d =
+            TextEncoder::parse("A white dog inside a car, next to a woman wearing black clothes.");
         assert_eq!(d.class, Some(ObjectClass::Dog));
         assert_eq!(d.color, Some(Color::White));
         assert_eq!(d.location, Some(Location::InsideCar));

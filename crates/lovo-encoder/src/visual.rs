@@ -82,7 +82,9 @@ impl VisualEncoderConfig {
             )));
         }
         if self.patch_size == 0 {
-            return Err(EncoderError::InvalidConfig("patch_size must be positive".into()));
+            return Err(EncoderError::InvalidConfig(
+                "patch_size must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.context_mix) {
             return Err(EncoderError::InvalidConfig(
@@ -175,8 +177,19 @@ impl VisualEncoder {
                 ))
             })
             .collect::<Result<Vec<_>>>()?;
-        let class_head = Linear::new(config.token_dim, config.class_dim, config.seed, "vis.class_head");
-        let box_head = Mlp::new(config.token_dim, config.token_dim, 4, config.seed, "vis.box_head");
+        let class_head = Linear::new(
+            config.token_dim,
+            config.class_dim,
+            config.seed,
+            "vis.class_head",
+        );
+        let box_head = Mlp::new(
+            config.token_dim,
+            config.token_dim,
+            4,
+            config.seed,
+            "vis.box_head",
+        );
         Ok(Self {
             config,
             space,
@@ -259,8 +272,8 @@ impl VisualEncoder {
             let grid_col = idx % cols as usize;
             let token = tokens.row_mut(idx);
             for (d, v) in token.iter_mut().enumerate() {
-                let angle = (grid_row as f32 + 1.0) * 0.7 + (grid_col as f32 + 1.0) * 1.3
-                    + d as f32 * 0.05;
+                let angle =
+                    (grid_row as f32 + 1.0) * 0.7 + (grid_col as f32 + 1.0) * 1.3 + d as f32 * 0.05;
                 *v += 0.05 * angle.sin();
             }
         }
@@ -347,11 +360,15 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(VisualEncoderConfig::default().validate().is_ok());
-        let mut c = VisualEncoderConfig::default();
-        c.heads = 7;
+        let c = VisualEncoderConfig {
+            heads: 7,
+            ..VisualEncoderConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = VisualEncoderConfig::default();
-        c.patch_size = 0;
+        let c = VisualEncoderConfig {
+            patch_size: 0,
+            ..VisualEncoderConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -414,7 +431,10 @@ mod tests {
     fn encoding_is_deterministic() {
         let enc = VisualEncoder::new(VisualEncoderConfig::default()).unwrap();
         let frame = frame_with_car(3);
-        assert_eq!(enc.encode_frame(&frame).unwrap(), enc.encode_frame(&frame).unwrap());
+        assert_eq!(
+            enc.encode_frame(&frame).unwrap(),
+            enc.encode_frame(&frame).unwrap()
+        );
     }
 
     #[test]

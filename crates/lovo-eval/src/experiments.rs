@@ -68,7 +68,9 @@ impl Report {
             .collect();
         let all_rows: Vec<Vec<String>> = std::iter::once(header.clone())
             .chain(self.rows.iter().map(|(label, cells)| {
-                std::iter::once(label.clone()).chain(cells.iter().cloned()).collect()
+                std::iter::once(label.clone())
+                    .chain(cells.iter().cloned())
+                    .collect()
             }))
             .collect();
         for row in &all_rows {
@@ -84,7 +86,9 @@ impl Report {
             let line: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, cell)| format!("{cell:width$}", width = widths.get(i).copied().unwrap_or(0)))
+                .map(|(i, cell)| {
+                    format!("{cell:width$}", width = widths.get(i).copied().unwrap_or(0))
+                })
                 .collect();
             out.push_str(&line.join("  "));
             out.push('\n');
@@ -273,8 +277,7 @@ pub fn fig7_qualitative(scale: f64) -> Report {
         let response = system.query(&videos, &query, 1);
         let (frame_label, description, correct) = match response.hits.first() {
             Some(hit) => {
-                let frame =
-                    &videos.videos[hit.video_id as usize].frames[hit.frame_index as usize];
+                let frame = &videos.videos[hit.video_id as usize].frames[hit.frame_index as usize];
                 let description = frame
                     .objects
                     .iter()
@@ -296,7 +299,11 @@ pub fn fig7_qualitative(scale: f64) -> Report {
         };
         report.push_row(
             system.name(),
-            vec![frame_label, description, if correct { "yes" } else { "no" }.to_string()],
+            vec![
+                frame_label,
+                description,
+                if correct { "yes" } else { "no" }.to_string(),
+            ],
         );
     }
     report.note("paper expectation: only LOVO returns a green, white-roofed bus; baselines return wrong colour/class or incomplete objects");
@@ -325,8 +332,9 @@ pub fn fig8_runtime(scale: f64) -> Report {
         let figo = Figo::new();
         let mut lovo = LovoSystem::default();
         let lovo_pre = lovo.preprocess(&videos);
-        let mean =
-            |f: &dyn Fn(&ObjectQuery) -> f64| queries.iter().map(f).sum::<f64>() / queries.len() as f64;
+        let mean = |f: &dyn Fn(&ObjectQuery) -> f64| {
+            queries.iter().map(f).sum::<f64>() / queries.len() as f64
+        };
         let miris_search = mean(&|q| miris.query(&videos, q, ACCURACY_TOP_K).modeled_seconds);
         let figo_search = mean(&|q| figo.query(&videos, q, ACCURACY_TOP_K).modeled_seconds);
         let lovo_search = mean(&|q| lovo.query(&videos, q, ACCURACY_TOP_K).modeled_seconds);
@@ -359,8 +367,14 @@ pub fn table3_vision_methods(scale: f64) -> Report {
         "Table III",
         "Vision-based and end-to-end methods (modeled seconds)",
         &[
-            "ZELDA proc", "ZELDA search", "UMT proc", "UMT search", "VISA proc", "VISA search",
-            "LOVO proc", "LOVO search",
+            "ZELDA proc",
+            "ZELDA search",
+            "UMT proc",
+            "UMT search",
+            "VISA proc",
+            "VISA search",
+            "LOVO proc",
+            "LOVO search",
         ],
     );
     for kind in MAIN_DATASETS {
@@ -425,7 +439,11 @@ pub fn fig9_breakdown(scale: f64) -> Report {
         let indexing = system.ingest_stats().indexing_seconds;
         report.push_row(
             kind.name(),
-            vec![fmt_s(pre.modeled_seconds), fmt_s(rerank), fmt_s(indexing + fast)],
+            vec![
+                fmt_s(pre.modeled_seconds),
+                fmt_s(rerank),
+                fmt_s(indexing + fast),
+            ],
         );
     }
     report.note("paper expectation: offline processing largest, rerank next, indexing + fast search smallest");
@@ -438,14 +456,20 @@ pub fn fig10_scalability(durations_seconds: &[f64]) -> Report {
         "Fig. 10",
         "Scalability with video duration (modeled seconds)",
         &[
-            "VOCAL total", "MIRIS total", "FiGO total", "LOVO total",
-            "VOCAL search", "MIRIS search", "FiGO search", "LOVO search",
+            "VOCAL total",
+            "MIRIS total",
+            "FiGO total",
+            "LOVO total",
+            "VOCAL search",
+            "MIRIS search",
+            "FiGO search",
+            "LOVO search",
         ],
     );
     let query = &queries_for(DatasetKind::Bellevue)[0];
     for &duration in durations_seconds {
-        let config = DatasetConfig::for_kind(DatasetKind::Bellevue)
-            .with_total_duration_seconds(duration);
+        let config =
+            DatasetConfig::for_kind(DatasetKind::Bellevue).with_total_duration_seconds(duration);
         let videos = VideoCollection::generate(config);
         let mut vocal = Vocal::new();
         let vocal_pre = vocal.preprocess(&videos);
@@ -478,11 +502,7 @@ pub fn fig10_scalability(durations_seconds: &[f64]) -> Report {
 
 /// Fig. 11: module-level scalability of LOVO.
 pub fn fig11_modules(scale: f64) -> Report {
-    let mut report = Report::new(
-        "Fig. 11",
-        "Module scalability",
-        &["value"],
-    );
+    let mut report = Report::new("Fig. 11", "Module scalability", &["value"]);
 
     // (a) processing time vs number of key frames (modeled, 0.08 s/frame).
     for frames in [500usize, 1_000, 2_000, 4_000] {
@@ -537,7 +557,8 @@ pub fn fig11_modules(scale: f64) -> Report {
         let system = lovo.inner().expect("built");
         let query = &queries_for(kind)[0];
         let result = system.query(&query.text).expect("query");
-        let per_entity = result.timings.fast_search_seconds / system.indexed_patches().max(1) as f64;
+        let per_entity =
+            result.timings.fast_search_seconds / system.indexed_patches().max(1) as f64;
         report.push_row(
             format!("(c) {} fast search per entity", kind.name()),
             vec![format!("{per_entity:.2e} s")],
@@ -661,7 +682,9 @@ pub fn table7_extension(scale: f64) -> Report {
             ],
         );
     }
-    report.note("paper expectation: LOVO answers open-ended QA-style queries with high AveP (0.72-0.99)");
+    report.note(
+        "paper expectation: LOVO answers open-ended QA-style queries with high AveP (0.72-0.99)",
+    );
     report
 }
 
@@ -695,7 +718,10 @@ mod tests {
         let report = table4_ablation(SMOKE_SCALE);
         // 2 datasets x 2 queries x 4 variants
         assert_eq!(report.rows.len(), 16);
-        assert!(report.rows.iter().any(|(label, _)| label.contains("w/o Rerank")));
+        assert!(report
+            .rows
+            .iter()
+            .any(|(label, _)| label.contains("w/o Rerank")));
     }
 
     #[test]

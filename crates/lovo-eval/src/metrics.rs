@@ -64,10 +64,7 @@ impl GroundTruthIndex {
 /// (systems cannot inflate AveP by returning the same frame repeatedly). The
 /// normalizer is the number of positive frames capped at the list length, so a
 /// perfect ranking of `k` hits over a corpus with ≥ `k` positives scores 1.0.
-pub fn average_precision(
-    hits: &[RankedHit],
-    ground_truth: &GroundTruthIndex,
-) -> f32 {
+pub fn average_precision(hits: &[RankedHit], ground_truth: &GroundTruthIndex) -> f32 {
     if hits.is_empty() || ground_truth.is_empty() {
         return 0.0;
     }

@@ -337,7 +337,11 @@ mod tests {
                     .iter_frames()
                     .filter(|(_, f)| q.frame_is_positive(f))
                     .count();
-                assert!(positives > 0, "query {} has no ground truth in {kind:?}", q.id);
+                assert!(
+                    positives > 0,
+                    "query {} has no ground truth in {kind:?}",
+                    q.id
+                );
             }
         }
     }

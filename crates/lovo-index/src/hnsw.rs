@@ -180,7 +180,10 @@ impl HnswIndex {
         let mut results: BinaryHeap<MinScored> = BinaryHeap::from([MinScored(entry_scored)]);
 
         while let Some(current) = candidates.pop() {
-            let worst = results.peek().map(|m| m.0.score).unwrap_or(f32::NEG_INFINITY);
+            let worst = results
+                .peek()
+                .map(|m| m.0.score)
+                .unwrap_or(f32::NEG_INFINITY);
             if current.score < worst && results.len() >= ef {
                 break;
             }
@@ -196,7 +199,10 @@ impl HnswIndex {
                         node: next,
                     };
                     stats.vectors_scored += 1;
-                    let worst = results.peek().map(|m| m.0.score).unwrap_or(f32::NEG_INFINITY);
+                    let worst = results
+                        .peek()
+                        .map(|m| m.0.score)
+                        .unwrap_or(f32::NEG_INFINITY);
                     if results.len() < ef || s.score > worst {
                         candidates.push(s);
                         results.push(MinScored(s));
@@ -287,8 +293,13 @@ impl VectorIndex for HnswIndex {
         }
         // Connect on every layer from min(level, max_level) down to 0.
         for layer in (0..=level.min(self.max_level)).rev() {
-            let neighbors =
-                self.search_layer(vector, current, self.config.ef_construction, layer, &mut stats);
+            let neighbors = self.search_layer(
+                vector,
+                current,
+                self.config.ef_construction,
+                layer,
+                &mut stats,
+            );
             current = neighbors.first().map(|s| s.node).unwrap_or(current);
             for scored in neighbors.iter().take(self.config.m) {
                 self.link(new_index, scored.node, layer);

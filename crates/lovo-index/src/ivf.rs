@@ -231,12 +231,7 @@ impl VectorIndex for IvfPqIndex {
     }
 
     fn len(&self) -> usize {
-        self.pending.len()
-            + self
-                .built
-                .as_ref()
-                .map(|b| b.originals.len())
-                .unwrap_or(0)
+        self.pending.len() + self.built.as_ref().map(|b| b.originals.len()).unwrap_or(0)
     }
 
     fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
@@ -422,7 +417,9 @@ impl VectorIndex for IvfPqIndex {
         let code_bytes: usize = built
             .cells
             .values()
-            .map(|c| c.entries.len() * (self.config.pq.num_subspaces + std::mem::size_of::<VectorId>()))
+            .map(|c| {
+                c.entries.len() * (self.config.pq.num_subspaces + std::mem::size_of::<VectorId>())
+            })
             .sum();
         let centroid_bytes = self.config.coarse_subspaces
             * self.config.coarse_centroids
@@ -437,10 +434,7 @@ impl VectorIndex for IvfPqIndex {
 
 /// Recursively enumerates the Cartesian product of per-subspace Top-A lists,
 /// invoking `visit(codes, combined_score)` for every combination.
-fn enumerate_cells(
-    top_per_subspace: &[Vec<(usize, f32)>],
-    visit: &mut impl FnMut(&[usize], f32),
-) {
+fn enumerate_cells(top_per_subspace: &[Vec<(usize, f32)>], visit: &mut impl FnMut(&[usize], f32)) {
     fn rec(
         lists: &[Vec<(usize, f32)>],
         depth: usize,

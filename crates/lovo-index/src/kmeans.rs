@@ -219,7 +219,11 @@ mod tests {
         let mut centers: Vec<f32> = result.centroids.iter().map(|c| c[0]).collect();
         centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(centers[0].abs() < 1.0, "low centroid at {}", centers[0]);
-        assert!((centers[1] - 10.0).abs() < 1.0, "high centroid at {}", centers[1]);
+        assert!(
+            (centers[1] - 10.0).abs() < 1.0,
+            "high centroid at {}",
+            centers[1]
+        );
         // Points alternate between blobs, so assignments must alternate too.
         assert_ne!(result.assignments[0], result.assignments[1]);
         assert_eq!(result.assignments[0], result.assignments[2]);

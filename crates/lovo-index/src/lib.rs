@@ -203,6 +203,8 @@ mod tests {
             actual: 4,
         };
         assert!(e.to_string().contains("expected 8"));
-        assert!(IndexError::InvalidState("x".into()).to_string().contains('x'));
+        assert!(IndexError::InvalidState("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -199,7 +199,9 @@ impl ProductQuantizer {
                 .codebooks
                 .get(p)
                 .and_then(|cb| cb.get(c as usize))
-                .ok_or_else(|| IndexError::InvalidState("code references missing centroid".into()))?;
+                .ok_or_else(|| {
+                    IndexError::InvalidState("code references missing centroid".into())
+                })?;
             out.extend_from_slice(centroid);
         }
         Ok(out)
@@ -343,8 +345,7 @@ mod tests {
     }
 
     #[test]
-    fn adc_preserves_ranking_of_clear_winners()
-    {
+    fn adc_preserves_ranking_of_clear_winners() {
         let dim = 16;
         // Construct clusters along axes so the nearest neighbour is unambiguous.
         let mut sample = Vec::new();
@@ -412,7 +413,10 @@ mod tests {
     fn for_dim_produces_valid_configs() {
         for dim in [16usize, 24, 32, 64, 96, 128, 7] {
             let cfg = PqConfig::for_dim(dim);
-            assert!(cfg.validate().is_ok(), "invalid default config for dim {dim}");
+            assert!(
+                cfg.validate().is_ok(),
+                "invalid default config for dim {dim}"
+            );
         }
     }
 }

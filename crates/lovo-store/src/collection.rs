@@ -140,7 +140,11 @@ impl VectorCollection {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<SearchResult>, SearchStats)> {
-        if !self.built && !matches!(self.config.index_kind, IndexKind::BruteForce | IndexKind::Hnsw)
+        if !self.built
+            && !matches!(
+                self.config.index_kind,
+                IndexKind::BruteForce | IndexKind::Hnsw
+            )
         {
             return Err(StoreError::InvalidOperation(format!(
                 "collection '{}' must be built before searching",
@@ -212,8 +216,11 @@ mod tests {
     fn brute_force_collection_searches_without_build() {
         let cfg = CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce);
         let mut c = VectorCollection::new("bf", cfg).unwrap();
-        c.insert(1, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
-        let hits = c.search(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 1).unwrap();
+        c.insert(1, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+            .unwrap();
+        let hits = c
+            .search(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 1)
+            .unwrap();
         assert_eq!(hits[0].id, 1);
         assert_eq!(c.index_family(), "BF");
     }

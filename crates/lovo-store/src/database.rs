@@ -63,7 +63,12 @@ impl VectorDatabase {
     /// Inserts a patch: its embedding into the named collection and its
     /// metadata row into the relational store, both keyed by
     /// `record.patch_id`.
-    pub fn insert_patch(&self, collection: &str, vector: &[f32], record: PatchRecord) -> Result<()> {
+    pub fn insert_patch(
+        &self,
+        collection: &str,
+        vector: &[f32],
+        record: PatchRecord,
+    ) -> Result<()> {
         let mut collections = self.collections.write();
         let col = collections
             .get_mut(collection)
@@ -177,10 +182,15 @@ mod tests {
     #[test]
     fn insert_search_join_round_trip() {
         let db = VectorDatabase::new();
-        db.create_collection("patches", CollectionConfig::new(16)).unwrap();
+        db.create_collection("patches", CollectionConfig::new(16))
+            .unwrap();
         for i in 0..400 {
-            db.insert_patch("patches", &vector(i, 16), record(i as u64, 0, (i / 48) as u32))
-                .unwrap();
+            db.insert_patch(
+                "patches",
+                &vector(i, 16),
+                record(i as u64, 0, (i / 48) as u32),
+            )
+            .unwrap();
         }
         db.build_collection("patches").unwrap();
         let hits = db.search("patches", &vector(123, 16), 5).unwrap();
@@ -192,7 +202,9 @@ mod tests {
     #[test]
     fn unknown_collection_errors() {
         let db = VectorDatabase::new();
-        assert!(db.insert_patch("missing", &[0.0; 4], record(0, 0, 0)).is_err());
+        assert!(db
+            .insert_patch("missing", &[0.0; 4], record(0, 0, 0))
+            .is_err());
         assert!(db.search("missing", &[0.0; 4], 1).is_err());
         assert!(db.build_collection("missing").is_err());
         assert!(db.collection_stats("missing").is_err());
@@ -202,11 +214,18 @@ mod tests {
     #[test]
     fn frame_patches_returns_all_rows_of_frame() {
         let db = VectorDatabase::new();
-        db.create_collection("patches", CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce))
-            .unwrap();
+        db.create_collection(
+            "patches",
+            CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce),
+        )
+        .unwrap();
         for i in 0..10u64 {
-            db.insert_patch("patches", &vector(i as usize, 8), record(i, 2, (i % 2) as u32))
-                .unwrap();
+            db.insert_patch(
+                "patches",
+                &vector(i as usize, 8),
+                record(i, 2, (i % 2) as u32),
+            )
+            .unwrap();
         }
         assert_eq!(db.frame_patches(2, 0).len(), 5);
         assert_eq!(db.frame_patches(2, 1).len(), 5);
@@ -217,9 +236,13 @@ mod tests {
     #[test]
     fn patch_lookup() {
         let db = VectorDatabase::new();
-        db.create_collection("p", CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce))
+        db.create_collection(
+            "p",
+            CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce),
+        )
+        .unwrap();
+        db.insert_patch("p", &vector(0, 8), record(77, 1, 4))
             .unwrap();
-        db.insert_patch("p", &vector(0, 8), record(77, 1, 4)).unwrap();
         assert_eq!(db.patch(77).unwrap().video_id, 1);
         assert!(db.patch(78).is_err());
     }
@@ -227,10 +250,14 @@ mod tests {
     #[test]
     fn stats_and_total_bytes() {
         let db = VectorDatabase::new();
-        db.create_collection("p", CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce))
-            .unwrap();
+        db.create_collection(
+            "p",
+            CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce),
+        )
+        .unwrap();
         for i in 0..50u64 {
-            db.insert_patch("p", &vector(i as usize, 8), record(i, 0, 0)).unwrap();
+            db.insert_patch("p", &vector(i as usize, 8), record(i, 0, 0))
+                .unwrap();
         }
         let stats = db.collection_stats("p").unwrap();
         assert_eq!(stats.entities, 50);

@@ -148,7 +148,10 @@ mod tests {
             store.insert(record(i, 0, i as u32));
         }
         let rows = store.get_many(&[3, 1, 4]).unwrap();
-        assert_eq!(rows.iter().map(|r| r.patch_id).collect::<Vec<_>>(), vec![3, 1, 4]);
+        assert_eq!(
+            rows.iter().map(|r| r.patch_id).collect::<Vec<_>>(),
+            vec![3, 1, 4]
+        );
         assert!(store.get_many(&[3, 99]).is_err());
     }
 

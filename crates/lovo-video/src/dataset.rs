@@ -812,9 +812,7 @@ mod tests {
         let c = VideoCollection::generate(
             DatasetConfig::for_kind(DatasetKind::Beach).with_frames_per_video(60),
         );
-        assert!(c
-            .iter_frames()
-            .all(|(_, f)| f.camera_motion == (0.0, 0.0)));
+        assert!(c.iter_frames().all(|(_, f)| f.camera_motion == (0.0, 0.0)));
         let moving = VideoCollection::generate(
             DatasetConfig::for_kind(DatasetKind::Cityscapes).with_frames_per_video(60),
         );
@@ -843,11 +841,13 @@ mod tests {
         // that its most complex query targets, otherwise accuracy experiments
         // would be vacuous.
         let bellevue = VideoCollection::for_kind(DatasetKind::Bellevue);
-        assert!(bellevue.iter_frames().any(|(_, f)| f.objects.iter().any(|o| {
-            o.attributes.class == ObjectClass::Car
-                && o.attributes.color == Color::Red
-                && matches!(o.attributes.relation, Relation::SideBySideWith(_))
-        })));
+        assert!(bellevue
+            .iter_frames()
+            .any(|(_, f)| f.objects.iter().any(|o| {
+                o.attributes.class == ObjectClass::Car
+                    && o.attributes.color == Color::Red
+                    && matches!(o.attributes.relation, Relation::SideBySideWith(_))
+            })));
 
         let beach = VideoCollection::for_kind(DatasetKind::Beach);
         assert!(beach.iter_frames().any(|(_, f)| f.objects.iter().any(|o| {

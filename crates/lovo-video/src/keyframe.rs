@@ -37,7 +37,7 @@ pub enum KeyframePolicy {
 impl Default for KeyframePolicy {
     fn default() -> Self {
         KeyframePolicy::MotionAdaptive {
-            motion_threshold: 0.6,
+            motion_threshold: 2.0,
             max_gap: 30,
         }
     }
@@ -191,10 +191,14 @@ mod tests {
         let selected = ex.select_indices(&frames);
         // Static prefix should not generate key frames beyond frame 0, while
         // the burst at frame 30 must be picked up within a couple of frames.
-        assert!(selected.iter().any(|&i| (30..=32).contains(&i)),
-            "burst not detected: {selected:?}");
-        assert!(selected.iter().filter(|&&i| i > 0 && i < 29).count() == 0,
-            "static prefix produced key frames: {selected:?}");
+        assert!(
+            selected.iter().any(|&i| (30..=32).contains(&i)),
+            "burst not detected: {selected:?}"
+        );
+        assert!(
+            selected.iter().filter(|&&i| i > 0 && i < 29).count() == 0,
+            "static prefix produced key frames: {selected:?}"
+        );
     }
 
     #[test]

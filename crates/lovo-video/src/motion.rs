@@ -109,14 +109,56 @@ impl MotionEstimator {
         }
     }
 
-    /// Aggregate motion change between two consecutive frames: the absolute
-    /// difference in mean motion magnitude plus the change in the fraction of
-    /// active blocks. This is the statistic the key-frame extractor thresholds.
+    /// Aggregate motion change between two consecutive frames: the mean
+    /// per-block motion-vector delta over the blocks that are moving in either
+    /// frame, after compensating each field for global (camera) motion. This
+    /// is the statistic the key-frame extractor thresholds.
+    ///
+    /// Comparing *per-block* vectors rather than whole-field summary numbers
+    /// is what lets the extractor see scene events: an object entering,
+    /// leaving, or changing speed flips the vectors of the blocks it covers,
+    /// which a difference of mean magnitudes cancels out in steady traffic.
+    /// Global-motion compensation keeps a panning camera from counting every
+    /// block as an event.
     pub fn motion_change(&self, previous: &MotionField, current: &MotionField) -> f32 {
-        let mag_delta = (current.mean_magnitude() - previous.mean_magnitude()).abs();
-        let act_delta = (current.active_fraction(1.0) - previous.active_fraction(1.0)).abs();
-        mag_delta + 5.0 * act_delta
+        const ACTIVE_MAGNITUDE: f32 = 1.0;
+        if previous.vectors.len() != current.vectors.len() {
+            // Differently-sized fields (e.g. a resolution change) are by
+            // definition a scene change.
+            return f32::MAX;
+        }
+        let prev_mean = mean_vector(&previous.vectors);
+        let cur_mean = mean_vector(&current.vectors);
+        let mut delta_sum = 0.0f32;
+        let mut active_either = 0usize;
+        for (&(px, py), &(cx, cy)) in previous.vectors.iter().zip(&current.vectors) {
+            let (px, py) = (px - prev_mean.0, py - prev_mean.1);
+            let (cx, cy) = (cx - cur_mean.0, cy - cur_mean.1);
+            let prev_active = px * px + py * py > ACTIVE_MAGNITUDE * ACTIVE_MAGNITUDE;
+            let cur_active = cx * cx + cy * cy > ACTIVE_MAGNITUDE * ACTIVE_MAGNITUDE;
+            if prev_active || cur_active {
+                active_either += 1;
+                let (dx, dy) = (cx - px, cy - py);
+                delta_sum += (dx * dx + dy * dy).sqrt();
+            }
+        }
+        if active_either == 0 {
+            0.0
+        } else {
+            delta_sum / active_either as f32
+        }
     }
+}
+
+/// Mean motion vector of a field (the global / camera component).
+fn mean_vector(vectors: &[(f32, f32)]) -> (f32, f32) {
+    if vectors.is_empty() {
+        return (0.0, 0.0);
+    }
+    let (sx, sy) = vectors
+        .iter()
+        .fold((0.0f32, 0.0f32), |(sx, sy), &(x, y)| (sx + x, sy + y));
+    (sx / vectors.len() as f32, sy / vectors.len() as f32)
 }
 
 #[cfg(test)]

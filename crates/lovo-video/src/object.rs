@@ -168,7 +168,10 @@ impl Color {
 
     /// Stable small integer code used by the encoders.
     pub fn code(&self) -> usize {
-        Color::ALL.iter().position(|c| c == self).expect("colour listed in ALL")
+        Color::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("colour listed in ALL")
     }
 
     /// Whether this colour reads as a close visual neighbour of `other`
@@ -219,7 +222,10 @@ impl SizeClass {
 
     /// Stable small integer code used by the encoders.
     pub fn code(&self) -> usize {
-        SizeClass::ALL.iter().position(|c| c == self).expect("size listed in ALL")
+        SizeClass::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("size listed in ALL")
     }
 
     /// Multiplier applied to the class's typical extent.
@@ -286,7 +292,10 @@ impl Activity {
 
     /// Stable small integer code used by the encoders.
     pub fn code(&self) -> usize {
-        Activity::ALL.iter().position(|c| c == self).expect("activity listed in ALL")
+        Activity::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("activity listed in ALL")
     }
 
     /// Whether the activity implies motion (drives key-frame selection).
@@ -348,7 +357,10 @@ impl Location {
 
     /// Stable small integer code used by the encoders.
     pub fn code(&self) -> usize {
-        Location::ALL.iter().position(|c| c == self).expect("location listed in ALL")
+        Location::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("location listed in ALL")
     }
 
     /// Whether a query for `self` should accept an object located at `other`.
@@ -470,7 +482,10 @@ impl Accessory {
 
     /// Stable small integer code used by the encoders.
     pub fn code(&self) -> usize {
-        Accessory::ALL.iter().position(|c| c == self).expect("accessory listed in ALL")
+        Accessory::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("accessory listed in ALL")
     }
 }
 
@@ -605,7 +620,9 @@ impl ObjectAttributes {
         }
         match self.relation {
             Relation::None => {}
-            Relation::SideBySideWith(c) => parts.push(format!("side by side with another {}", c.name())),
+            Relation::SideBySideWith(c) => {
+                parts.push(format!("side by side with another {}", c.name()))
+            }
             Relation::NextTo(c) => parts.push(format!("next to a {}", c.name())),
         }
         parts.join(", ")
@@ -666,7 +683,8 @@ mod tests {
         assert!(q.accepts(&Relation::SideBySideWith(ObjectClass::Car)));
         assert!(!q.accepts(&Relation::None));
         assert!(Relation::None.accepts(&Relation::SideBySideWith(ObjectClass::Bus)));
-        assert!(!Relation::SideBySideWith(ObjectClass::Car).accepts(&Relation::NextTo(ObjectClass::Car)));
+        assert!(!Relation::SideBySideWith(ObjectClass::Car)
+            .accepts(&Relation::NextTo(ObjectClass::Car)));
     }
 
     #[test]
@@ -695,8 +713,14 @@ mod tests {
 
     #[test]
     fn default_activity_follows_class() {
-        assert_eq!(ObjectAttributes::simple(ObjectClass::Car).activity, Activity::Driving);
-        assert_eq!(ObjectAttributes::simple(ObjectClass::Person).activity, Activity::Standing);
+        assert_eq!(
+            ObjectAttributes::simple(ObjectClass::Car).activity,
+            Activity::Driving
+        );
+        assert_eq!(
+            ObjectAttributes::simple(ObjectClass::Person).activity,
+            Activity::Standing
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! run a complex object query.
 //!
 //! ```bash
-//! cargo run -p lovo-core --release --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use lovo_core::{Lovo, LovoConfig};

@@ -3,7 +3,7 @@
 //! query — the workload that motivates the paper's introduction.
 //!
 //! ```bash
-//! cargo run -p lovo-bench --release --example traffic_surveillance
+//! cargo run --release --example traffic_surveillance
 //! ```
 
 use lovo_baselines::{Figo, LovoSystem, Miris, ObjectQuerySystem, Vocal};

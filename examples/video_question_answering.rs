@@ -5,7 +5,7 @@
 //! frames with a sufficiently high cross-modality score.
 //!
 //! ```bash
-//! cargo run -p lovo-bench --release --example video_question_answering
+//! cargo run --release --example video_question_answering
 //! ```
 
 use lovo_baselines::{LovoSystem, ObjectQuerySystem};
@@ -46,5 +46,7 @@ fn main() {
             ap, response.modeled_seconds, positive_videos
         );
     }
-    println!("\nExpected shape (paper Table VII): AveP in the 0.7-1.0 range on all four questions.");
+    println!(
+        "\nExpected shape (paper Table VII): AveP in the 0.7-1.0 range on all four questions."
+    );
 }

@@ -1,0 +1,24 @@
+//! Workspace facade for the LOVO reproduction.
+//!
+//! Re-exports every `lovo-*` crate under one roof so downstream users (and the
+//! workspace-level integration tests and examples) can depend on a single
+//! package. The crate-per-module layout mirrors Fig. 3 of the paper; see the
+//! individual crates for the real documentation:
+//!
+//! * [`tensor`] — minimal dense linear-algebra substrate
+//! * [`video`] — synthetic video datasets, frames, objects, queries
+//! * [`encoder`] — visual/text encoders and the cross-modality transformer
+//! * [`index`] — ANN index families (flat, IVF-PQ, HNSW) and product quantization
+//! * [`store`] — vector collections + relational metadata joined by patch id
+//! * [`core`] — the two-stage LOVO engine (Algorithm 2)
+//! * [`eval`] — metrics, workloads, and the paper's figure/table experiments
+//! * [`baselines`] — FIGO/MIRIS/VOCAL/ZELDA/VisA/UMT comparison systems
+
+pub use lovo_baselines as baselines;
+pub use lovo_core as core;
+pub use lovo_encoder as encoder;
+pub use lovo_eval as eval;
+pub use lovo_index as index;
+pub use lovo_store as store;
+pub use lovo_tensor as tensor;
+pub use lovo_video as video;

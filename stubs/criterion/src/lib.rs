@@ -1,0 +1,249 @@
+//! Offline shim for the subset of the `criterion` API used by this workspace.
+//!
+//! Provides [`Criterion`], benchmark groups, [`criterion_group!`] /
+//! [`criterion_main!`], and a [`Bencher`] whose `iter` performs a short
+//! calibrated measurement (warm-up, then enough iterations to fill a fixed
+//! time budget) and prints mean wall-clock time per iteration. No statistics,
+//! plots, or HTML reports — just honest timings on stderr-free stdout.
+//!
+//! `cargo bench` invokes the harness with `--bench`; `cargo test` (when bench
+//! targets are tested) passes `--test`, in which case each benchmark runs a
+//! single iteration as a smoke check.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, as in `bench_with_input`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures under measurement inside `bench_function` callbacks.
+pub struct Bencher<'a> {
+    budget: Duration,
+    smoke_only: bool,
+    report: &'a mut Vec<(String, Duration, u64)>,
+    label: String,
+}
+
+impl Bencher<'_> {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.smoke_only {
+            hint::black_box(f());
+            self.report.push((self.label.clone(), Duration::ZERO, 1));
+            return;
+        }
+        // Warm up and estimate per-iteration cost with a single call.
+        let start = Instant::now();
+        hint::black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint::black_box(f());
+        }
+        self.report
+            .push((self.label.clone(), start.elapsed(), iters));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Top-level benchmark driver, a minimal stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Self {
+            budget: Duration::from_millis(300),
+            smoke_only,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            results: Vec::new(),
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    results: Vec<(String, Duration, u64)>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by time budget.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    fn qualified(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = self.qualified(&id.to_string());
+        let mut bencher = Bencher {
+            budget: self.criterion.budget,
+            smoke_only: self.criterion.smoke_only,
+            report: &mut self.results,
+            label,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {
+        for (label, total, iters) in &self.results {
+            if *iters == 1 && total.is_zero() {
+                println!("{label:<40} smoke-tested (1 iteration)");
+            } else {
+                let per_iter = *total / (*iters as u32).max(1);
+                println!(
+                    "{label:<40} {:>12}/iter  ({iters} iters in {})",
+                    format_duration(per_iter),
+                    format_duration(*total),
+                );
+            }
+        }
+    }
+}
+
+/// Throughput annotation, accepted and ignored by this harness.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.measurement_time(Duration::from_millis(5));
+        c.bench_function("sum_0_to_99", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion {
+            budget: Duration::from_millis(5),
+            smoke_only: false,
+        };
+        trivial_bench(&mut criterion);
+    }
+}

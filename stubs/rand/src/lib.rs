@@ -1,0 +1,317 @@
+//! Offline shim for the subset of the `rand` 0.8 API used by this workspace.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides a drop-in implementation of the pieces the LOVO seed relies on:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `gen_range` / `gen` / `gen_bool` / `fill`. The generator
+//! is `xoshiro256++` seeded through SplitMix64 — the same construction the
+//! real `SmallRng` uses on 64-bit platforms, so statistical quality is
+//! equivalent even though exact streams differ.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random number generation: everything builds on `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Deterministic construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    type Seed;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open or inclusive range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range {low}..{high}");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                // Multiply-shift bounded sampling (Lemire); span <= u64::MAX here
+                // because the range is half-open and non-empty.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((low as $wide).wrapping_add(hi as $wide)) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range {low}..={high}");
+                if low == high {
+                    return low;
+                }
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return (rng.next_u64() as $wide).wrapping_add(low as $wide) as $t;
+                }
+                let hi = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                ((low as $wide).wrapping_add(hi as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty, $unit:ident);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range {low}..{high}");
+                let u = $unit(rng.next_u64());
+                // Clamp below high so the half-open contract holds even when
+                // rounding in `low + span * u` lands exactly on `high`.
+                let v = low + (high - low) * u;
+                if v >= high { high.next_down() } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range {low}..={high}");
+                low + (high - low) * $unit(rng.next_u64())
+            }
+        }
+    )*};
+}
+
+fn unit_f32(bits: u64) -> f32 {
+    ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+impl_sample_uniform_float!(f32, unit_f32; f64, unit_f64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng.next_u64())
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: `xoshiro256++`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn from_state(mut state: u64) -> Self {
+            // SplitMix64 seeding, as recommended by the xoshiro authors.
+            let mut next = || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s.iter().all(|&x| x == 0) {
+                return Self::from_state(0);
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            Self::from_state(state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let m = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&m));
+        }
+    }
+
+    #[test]
+    fn negative_and_zero_crossing_float_ranges_stay_half_open() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(-1.0f32..0.0);
+            assert!((-1.0..0.0).contains(&a), "{a} escaped -1.0..0.0");
+            let b = rng.gen_range(-2.0f64..-1.0);
+            assert!((-2.0..-1.0).contains(&b), "{b} escaped -2.0..-1.0");
+        }
+        // The clamp itself must stay inside the range for non-positive highs.
+        assert!((-1.0f32..0.0).contains(&0.0f32.next_down()));
+        assert!((-2.0f64..-1.0).contains(&(-1.0f64).next_down()));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (8_000..12_000).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline shim for the subset of the `serde` API used by this workspace.
+//!
+//! The seed derives `Serialize` / `Deserialize` on its data types but never
+//! invokes an actual serializer (there is no `serde_json` in the tree), so the
+//! traits here are markers and the derive macros (re-exported from
+//! `serde_derive` when the `derive` feature is on, matching real serde's
+//! feature layout) expand to empty token streams. Swapping this stub for the
+//! real crate requires no source changes in the workspace.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The workspace only uses serde derives as declarations of intent (nothing
+//! serializes at runtime), so the derives expand to nothing. The `serde`
+//! helper attribute is still registered so `#[serde(...)]` field attributes
+//! would not break compilation if a future change adds them.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

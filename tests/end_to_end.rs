@@ -45,8 +45,7 @@ fn collection_with_ground_truth(
 
 #[test]
 fn lovo_beats_predefined_class_index_on_complex_queries() {
-    let (videos, complex) =
-        collection_with_ground_truth(DatasetKind::Bellevue, 700, "Q2.2");
+    let (videos, complex) = collection_with_ground_truth(DatasetKind::Bellevue, 700, "Q2.2");
     let complex = &complex;
 
     let mut vocal = Vocal::new();
@@ -57,19 +56,24 @@ fn lovo_beats_predefined_class_index_on_complex_queries() {
     let (vocal_ap, vocal_resp) = evaluate_query(&vocal, &videos, complex, ACCURACY_TOP_K);
     let (lovo_ap, lovo_resp) = evaluate_query(&lovo, &videos, complex, ACCURACY_TOP_K);
 
-    assert!(!vocal_resp.supported, "VOCAL cannot express relation queries");
+    assert!(
+        !vocal_resp.supported,
+        "VOCAL cannot express relation queries"
+    );
     assert!(lovo_resp.supported);
     assert!(
         lovo_ap > vocal_ap,
         "LOVO AveP {lovo_ap} should beat VOCAL {vocal_ap} on the complex query"
     );
-    assert!(lovo_ap > 0.1, "LOVO should retrieve at least some correct frames");
+    assert!(
+        lovo_ap > 0.1,
+        "LOVO should retrieve at least some correct frames"
+    );
 }
 
 #[test]
 fn rerank_improves_complex_query_accuracy() {
-    let (videos, complex) =
-        collection_with_ground_truth(DatasetKind::Bellevue, 600, "Q2.2");
+    let (videos, complex) = collection_with_ground_truth(DatasetKind::Bellevue, 600, "Q2.2");
     let complex = &complex;
 
     let mut full = LovoSystem::new(LovoConfig::default());
@@ -119,8 +123,14 @@ fn zelda_baseline_and_lovo_agree_on_easy_queries() {
 
     let (zelda_ap, _) = evaluate_query(&zelda, &videos, simple, ACCURACY_TOP_K);
     let (lovo_ap, _) = evaluate_query(&lovo, &videos, simple, ACCURACY_TOP_K);
-    assert!(zelda_ap > 0.05, "ZELDA should find green buses (got {zelda_ap})");
-    assert!(lovo_ap > 0.05, "LOVO should find green buses (got {lovo_ap})");
+    assert!(
+        zelda_ap > 0.05,
+        "ZELDA should find green buses (got {zelda_ap})"
+    );
+    assert!(
+        lovo_ap > 0.05,
+        "LOVO should find green buses (got {lovo_ap})"
+    );
 }
 
 #[test]
@@ -132,6 +142,9 @@ fn storage_footprint_reports_are_consistent() {
         .collection_stats(lovo_core::summary::PATCH_COLLECTION)
         .unwrap();
     assert_eq!(stats.entities, lovo.indexed_patches());
-    assert!(stats.index_bytes < stats.raw_bytes, "PQ index must compress the raw embeddings");
+    assert!(
+        stats.index_bytes < stats.raw_bytes,
+        "PQ index must compress the raw embeddings"
+    );
     assert!(lovo.storage_bytes() >= stats.index_bytes);
 }

@@ -1,0 +1,37 @@
+//! Fast workspace smoke test: one tiny Bellevue collection through the full
+//! `Lovo::build` -> `Lovo::query` pipeline. This exercises every crate in the
+//! dependency chain (video -> encoder -> index -> store -> core) in a few
+//! seconds, so CI gets end-to-end coverage even when the heavy
+//! `end_to_end.rs` suite is skipped locally.
+
+use lovo_core::{Lovo, LovoConfig};
+use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+
+#[test]
+fn tiny_collection_builds_and_answers_a_query() {
+    let videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_frames_per_video(90)
+            .with_seed(5),
+    );
+    let lovo = Lovo::build(&videos, LovoConfig::default()).expect("build");
+    assert!(lovo.indexed_patches() > 0);
+
+    let result = lovo
+        .query("a red car driving in the center of the road")
+        .expect("query");
+    assert!(!result.frames.is_empty(), "query returned no frames");
+    assert!(result.frames.len() <= lovo.config().output_frames);
+    assert!(result.fast_search_candidates > 0);
+    for pair in result.frames.windows(2) {
+        assert!(
+            pair[0].score >= pair[1].score,
+            "results not sorted by score"
+        );
+    }
+    // Every returned frame must reference a real frame of the collection.
+    for ranked in &result.frames {
+        let video = &videos.videos[ranked.video_id as usize];
+        assert!((ranked.frame_index as usize) < video.frames.len());
+    }
+}
