@@ -1,0 +1,7 @@
+//! Incremental-ingest experiment: append cost vs full rebuild on the
+//! segmented storage engine.
+fn main() {
+    let scale = lovo_bench::scale_from_args();
+    let report = lovo_eval::experiments::incremental_ingest(scale);
+    println!("{}", report.render());
+}

@@ -38,6 +38,13 @@ pub struct LovoConfig {
     /// every patch (including pure background), matching the paper's
     /// class-agnostic indexing; small values trade recall for index size.
     pub min_objectness: f32,
+    /// Worker threads for the ingest-time visual encoding fan-out. `0` (the
+    /// default) uses all available parallelism.
+    pub ingest_workers: usize,
+    /// Rows at which a growing storage segment seals and builds its ANN
+    /// index. Bounds per-segment build cost for incremental ingest; smaller
+    /// values seal more eagerly at the price of a wider search fan-out.
+    pub segment_capacity: usize,
 }
 
 impl Default for LovoConfig {
@@ -53,6 +60,8 @@ impl Default for LovoConfig {
             rerank_frames: 64,
             enable_rerank: true,
             min_objectness: 0.0,
+            ingest_workers: 0,
+            segment_capacity: lovo_store::DEFAULT_SEGMENT_CAPACITY,
         }
     }
 }
@@ -94,6 +103,19 @@ impl LovoConfig {
         self
     }
 
+    /// Builder-style override of the ingest worker count (`0` = all
+    /// available parallelism).
+    pub fn with_ingest_workers(mut self, workers: usize) -> Self {
+        self.ingest_workers = workers;
+        self
+    }
+
+    /// Builder-style override of the storage segment capacity.
+    pub fn with_segment_capacity(mut self, capacity: usize) -> Self {
+        self.segment_capacity = capacity.max(1);
+        self
+    }
+
     /// The "w/o Rerank" ablation configuration of Table IV.
     pub fn ablation_without_rerank() -> Self {
         Self::default().with_rerank(false)
@@ -125,6 +147,9 @@ impl LovoConfig {
         }
         if self.fast_search_k == 0 || self.output_frames == 0 || self.rerank_frames == 0 {
             return Err("fast_search_k, output_frames and rerank_frames must be positive".into());
+        }
+        if self.segment_capacity == 0 {
+            return Err("segment_capacity must be positive".into());
         }
         Ok(())
     }
@@ -168,8 +193,21 @@ mod tests {
     fn builders_clamp_to_positive() {
         let c = LovoConfig::default()
             .with_fast_search_k(0)
-            .with_output_frames(0);
+            .with_output_frames(0)
+            .with_segment_capacity(0);
         assert_eq!(c.fast_search_k, 1);
         assert_eq!(c.output_frames, 1);
+        assert_eq!(c.segment_capacity, 1);
+    }
+
+    #[test]
+    fn ingest_workers_zero_means_auto() {
+        let c = LovoConfig::default();
+        assert_eq!(c.ingest_workers, 0);
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            LovoConfig::default().with_ingest_workers(3).ingest_workers,
+            3
+        );
     }
 }

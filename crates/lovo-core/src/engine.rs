@@ -63,14 +63,20 @@ pub struct QueryResult {
     pub search_stats: SearchStats,
 }
 
-/// The LOVO system: built once over a video collection, queried many times.
+/// The LOVO system: built over an initial video collection, extended with
+/// [`Lovo::add_videos`] as new footage arrives, queried many times.
 pub struct Lovo {
     config: LovoConfig,
     database: VectorDatabase,
     keyframes: KeyframeMap,
     text_encoder: TextEncoder,
     rerank: CrossModalityTransformer,
+    summarizer: VideoSummarizer,
+    /// Cumulative statistics across the initial build and every append.
     ingest_stats: IngestStats,
+    /// Video ids already ingested; appends of the same id are rejected
+    /// because their patch ids would collide.
+    ingested_videos: std::collections::HashSet<u32>,
 }
 
 impl Lovo {
@@ -79,12 +85,15 @@ impl Lovo {
     /// models.
     pub fn build(videos: &VideoCollection, config: LovoConfig) -> Result<Self> {
         config.validate().map_err(LovoError::InvalidState)?;
+        let ingested_videos = unique_video_ids(videos, &std::collections::HashSet::new())?;
         let summarizer = VideoSummarizer::new(&config)?;
         let database = VectorDatabase::new();
         let (ingest_stats, keyframes) = summarizer.ingest(videos, &database)?;
         Ok(Self {
             text_encoder: TextEncoder::new(config.text)?,
             rerank: CrossModalityTransformer::new(config.cross_modality)?,
+            ingested_videos,
+            summarizer,
             config,
             database,
             keyframes,
@@ -92,14 +101,48 @@ impl Lovo {
         })
     }
 
+    /// Incrementally ingests a new batch of videos: encodes only the new
+    /// footage, appends its patches to the vector collection's growing
+    /// segment(s), and seals — existing sealed segments are never rebuilt, so
+    /// append cost is proportional to the batch, not the collection. Returns
+    /// this run's statistics; [`Lovo::ingest_stats`] keeps the running total.
+    pub fn add_videos(&mut self, videos: &VideoCollection) -> Result<IngestStats> {
+        let batch_ids = unique_video_ids(videos, &self.ingested_videos)?;
+        // Reserve the ids before ingesting: a mid-run failure can leave part
+        // of the batch in the store, and a retry under the same ids would
+        // silently collide patch ids. A failed batch's ids stay reserved —
+        // re-submit the footage under fresh ids.
+        self.ingested_videos.extend(batch_ids);
+        let run = self
+            .summarizer
+            .ingest_into(videos, &self.database, &mut self.keyframes)?;
+        self.ingest_stats.accumulate(&run);
+        Ok(run)
+    }
+
+    /// Merges undersized sealed storage segments to bound the search fan-out
+    /// width after many small appends.
+    pub fn compact(&self) -> Result<lovo_store::CompactionResult> {
+        Ok(self.database.compact_collection(PATCH_COLLECTION)?)
+    }
+
     /// The system configuration.
     pub fn config(&self) -> &LovoConfig {
         &self.config
     }
 
-    /// Statistics of the one-time video-summary / indexing phase.
+    /// Cumulative statistics of the video-summary / indexing phase across the
+    /// initial build and every incremental append.
     pub fn ingest_stats(&self) -> &IngestStats {
         &self.ingest_stats
+    }
+
+    /// Storage statistics of the patch collection (segment counts, build
+    /// counts, byte sizes).
+    pub fn collection_stats(&self) -> lovo_store::CollectionStats {
+        self.database
+            .collection_stats(PATCH_COLLECTION)
+            .unwrap_or_default()
     }
 
     /// Number of patch embeddings stored in the vector collection.
@@ -257,6 +300,31 @@ impl Lovo {
     }
 }
 
+/// Collects the batch's video ids, rejecting any id that already exists in
+/// `ingested` or repeats within the batch itself — either way its patches
+/// would silently collide (patch ids embed the video id).
+fn unique_video_ids(
+    videos: &VideoCollection,
+    ingested: &std::collections::HashSet<u32>,
+) -> Result<std::collections::HashSet<u32>> {
+    let mut batch = std::collections::HashSet::with_capacity(videos.videos.len());
+    for video in &videos.videos {
+        if ingested.contains(&video.id) {
+            return Err(LovoError::InvalidState(format!(
+                "video id {} is already ingested; re-adding it would collide patch ids",
+                video.id
+            )));
+        }
+        if !batch.insert(video.id) {
+            return Err(LovoError::InvalidState(format!(
+                "video id {} appears twice in the batch; duplicate ids would collide patch ids",
+                video.id
+            )));
+        }
+    }
+    Ok(batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +436,157 @@ mod tests {
         assert!(small.fast_search_candidates <= 10);
         assert!(large.fast_search_candidates <= 200);
         assert!(large.fast_search_candidates >= small.fast_search_candidates);
+    }
+
+    fn bellevue_batch(frames: usize, seed: u64, id_offset: u32) -> VideoCollection {
+        let mut batch = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_frames_per_video(frames)
+                .with_seed(seed),
+        );
+        for video in &mut batch.videos {
+            video.id += id_offset;
+        }
+        batch
+    }
+
+    #[test]
+    fn add_videos_appends_without_rebuilding_sealed_segments() {
+        let first = bellevue(240);
+        let mut lovo = Lovo::build(&first, LovoConfig::default()).unwrap();
+        let stats_after_build = lovo.collection_stats();
+        let patches_after_build = lovo.indexed_patches();
+        assert!(stats_after_build.index_builds >= 1);
+
+        let second = bellevue_batch(240, 23, first.videos.len() as u32);
+        let run = lovo.add_videos(&second).unwrap();
+
+        // The append sealed and built only its own segment(s).
+        assert!(run.segments_sealed >= 1);
+        assert_eq!(run.index_builds, run.segments_sealed);
+        let stats_after_append = lovo.collection_stats();
+        assert_eq!(
+            stats_after_append.index_builds,
+            stats_after_build.index_builds + run.index_builds
+        );
+        assert_eq!(
+            stats_after_append.sealed_segments,
+            stats_after_build.sealed_segments + run.segments_sealed
+        );
+        assert_eq!(
+            lovo.indexed_patches(),
+            patches_after_build + run.patches_indexed
+        );
+        // Cumulative stats folded the run in.
+        assert_eq!(
+            lovo.ingest_stats().patches_indexed,
+            patches_after_build + run.patches_indexed
+        );
+
+        // Queries see footage from both batches.
+        let result = lovo
+            .query("a red car driving in the center of the road")
+            .unwrap();
+        assert!(!result.frames.is_empty());
+    }
+
+    #[test]
+    fn incremental_build_matches_from_scratch_build() {
+        // With brute-force segments the fan-out + merge is exact, so an
+        // incremental build must rank frames identically to a from-scratch
+        // build over the same combined data.
+        let first = bellevue(200);
+        let second = bellevue_batch(200, 31, first.videos.len() as u32);
+        let mut combined = first.clone();
+        combined.videos.extend(second.videos.iter().cloned());
+
+        let config = LovoConfig::ablation_without_anns();
+        let mut incremental = Lovo::build(&first, config).unwrap();
+        incremental.add_videos(&second).unwrap();
+        let scratch = Lovo::build(&combined, config).unwrap();
+
+        assert_eq!(incremental.indexed_patches(), scratch.indexed_patches());
+        for query in [
+            "a red car driving in the center of the road",
+            "a bus driving on the road",
+        ] {
+            let a = incremental.query(query).unwrap();
+            let b = scratch.query(query).unwrap();
+            let frames = |r: &QueryResult| -> Vec<(u32, u32)> {
+                r.frames
+                    .iter()
+                    .map(|f| (f.video_id, f.frame_index))
+                    .collect()
+            };
+            assert_eq!(frames(&a), frames(&b), "query: {query}");
+        }
+    }
+
+    #[test]
+    fn duplicate_video_ids_are_rejected_on_append() {
+        let videos = bellevue(120);
+        let mut lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let err = lovo.add_videos(&videos).unwrap_err();
+        assert!(err.to_string().contains("already ingested"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_video_ids_within_one_batch_are_rejected() {
+        let videos = bellevue(120);
+        let mut lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        // A batch whose videos share one id: every patch id would collide.
+        let mut batch = bellevue_batch(60, 19, videos.videos.len() as u32);
+        let clone = batch.videos[0].clone();
+        batch.videos.push(clone);
+        let err = lovo.add_videos(&batch).unwrap_err();
+        assert!(err.to_string().contains("appears twice"), "{err}");
+
+        // Same guard at initial build.
+        let mut dup = bellevue(60);
+        let clone = dup.videos[0].clone();
+        dup.videos.push(clone);
+        let err = match Lovo::build(&dup, LovoConfig::default()) {
+            Ok(_) => panic!("duplicate ids must be rejected at build"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("appears twice"), "{err}");
+    }
+
+    #[test]
+    fn small_segment_capacity_splits_storage_and_still_answers() {
+        let videos = bellevue(300);
+        let lovo = Lovo::build(&videos, LovoConfig::default().with_segment_capacity(200)).unwrap();
+        let stats = lovo.collection_stats();
+        assert!(
+            stats.sealed_segments > 1,
+            "expected multiple segments, got {stats:?}"
+        );
+        let result = lovo
+            .query("a red car driving in the center of the road")
+            .unwrap();
+        assert!(!result.frames.is_empty());
+        assert_eq!(result.search_stats.segments_probed, stats.sealed_segments);
+    }
+
+    #[test]
+    fn compaction_after_many_appends_narrows_fanout() {
+        let first = bellevue(150);
+        let mut lovo = Lovo::build(&first, LovoConfig::default()).unwrap();
+        let mut offset = first.videos.len() as u32;
+        for seed in [41u64, 43, 47] {
+            let batch = bellevue_batch(150, seed, offset);
+            offset += batch.videos.len() as u32;
+            lovo.add_videos(&batch).unwrap();
+        }
+        let before = lovo.collection_stats();
+        assert_eq!(before.sealed_segments, 4);
+        let result = lovo.compact().unwrap();
+        assert!(result.segments_merged >= 2, "{result:?}");
+        let after = lovo.collection_stats();
+        assert!(after.sealed_segments < before.sealed_segments);
+        assert_eq!(after.entities, before.entities);
+        let answer = lovo.query("a bus driving on the road").unwrap();
+        assert!(!answer.frames.is_empty());
     }
 
     #[test]

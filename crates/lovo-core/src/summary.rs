@@ -1,14 +1,19 @@
 //! The Video Summary module (§IV): key-frame extraction, visual encoding, and
 //! vector-collection construction.
 //!
-//! Summarization is query-agnostic and happens once per video collection.
-//! Each selected key frame is encoded into per-patch class embeddings and
-//! predicted boxes; every patch becomes one row of the vector collection with
-//! a globally unique patch id, and its metadata row (video, frame, patch
-//! index, box, timestamp) goes to the relational store. Encoding is spread
-//! over a small crossbeam thread scope so multi-core machines ingest faster;
-//! the output is deterministic regardless of thread count because patch ids
-//! are assigned from the frame's position, not from completion order.
+//! Summarization is query-agnostic and — since the segmented storage engine —
+//! *incremental*: [`VideoSummarizer::ingest_into`] appends one batch of
+//! videos to an existing database, sealing the rows it adds into fresh
+//! storage segments without ever touching (or rebuilding) segments from
+//! earlier batches. Each selected key frame is encoded into per-patch class
+//! embeddings and predicted boxes; every patch becomes one row of the vector
+//! collection with a globally unique patch id, and its metadata row (video,
+//! frame, patch index, box, timestamp) goes to the relational store in the
+//! same per-frame batch, so the database write lock is taken once per frame
+//! rather than once per patch. Encoding is spread over a scoped thread pool
+//! sized by [`crate::LovoConfig::ingest_workers`]; the output is
+//! deterministic regardless of thread count because patch ids are assigned
+//! from the frame's position, not from completion order.
 
 use crate::config::LovoConfig;
 use crate::{LovoError, Result};
@@ -23,7 +28,16 @@ use std::time::Instant;
 /// Name of the vector collection LOVO stores patch embeddings in.
 pub const PATCH_COLLECTION: &str = "lovo_patches";
 
-/// Statistics of one ingestion run.
+/// Largest video id that fits the patch-id packing (20 bits, see
+/// [`patch_id`]). Ingesting a video with a larger id is rejected: the id
+/// would wrap and silently collide with another video's patches.
+pub const MAX_VIDEO_ID: u32 = (1 << 20) - 1;
+
+/// Largest per-frame patch index that fits the patch-id packing (12 bits).
+pub const MAX_PATCH_INDEX: u32 = (1 << 12) - 1;
+
+/// Statistics of one ingestion run. [`IngestStats::accumulate`] folds the
+/// per-run statistics of incremental appends into a lifetime total.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct IngestStats {
     /// Total frames in the input collection.
@@ -36,14 +50,33 @@ pub struct IngestStats {
     pub keyframe_seconds: f64,
     /// Wall-clock seconds spent encoding frames (visual encoder).
     pub encoding_seconds: f64,
-    /// Wall-clock seconds spent inserting + building the index.
+    /// Wall-clock seconds spent inserting + sealing segments.
     pub indexing_seconds: f64,
+    /// Storage segments sealed by this run.
+    pub segments_sealed: usize,
+    /// Segment ANN index builds performed by this run. Incremental appends
+    /// build only the segments they seal — never existing ones — so this
+    /// stays proportional to the appended batch, not the collection.
+    pub index_builds: usize,
 }
 
 impl IngestStats {
     /// Total processing time in seconds.
     pub fn total_seconds(&self) -> f64 {
         self.keyframe_seconds + self.encoding_seconds + self.indexing_seconds
+    }
+
+    /// Folds another run's statistics into this one (used by the engine to
+    /// keep a lifetime total across incremental appends).
+    pub fn accumulate(&mut self, run: &IngestStats) {
+        self.total_frames += run.total_frames;
+        self.key_frames += run.key_frames;
+        self.patches_indexed += run.patches_indexed;
+        self.keyframe_seconds += run.keyframe_seconds;
+        self.encoding_seconds += run.encoding_seconds;
+        self.indexing_seconds += run.indexing_seconds;
+        self.segments_sealed += run.segments_sealed;
+        self.index_builds += run.index_builds;
     }
 }
 
@@ -56,16 +89,27 @@ pub struct VideoSummarizer {
     extractor: KeyframeExtractor,
     min_objectness: f32,
     index_kind: lovo_index::IndexKind,
+    segment_capacity: usize,
+    workers: usize,
 }
 
 impl VideoSummarizer {
     /// Creates a summarizer from the system configuration.
     pub fn new(config: &LovoConfig) -> Result<Self> {
+        let workers = if config.ingest_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.ingest_workers
+        };
         Ok(Self {
             encoder: VisualEncoder::new(config.visual)?,
             extractor: KeyframeExtractor::new(config.keyframe_policy),
             min_objectness: config.min_objectness,
             index_kind: config.index_kind,
+            segment_capacity: config.segment_capacity,
+            workers,
         })
     }
 
@@ -75,14 +119,44 @@ impl VideoSummarizer {
         &self.encoder
     }
 
-    /// Runs the full summary pipeline: key-frame extraction, encoding, and
-    /// insertion into `database`. Returns ingestion statistics and the map of
-    /// retained key frames used later by the rerank stage.
+    /// Resolved ingest worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the full summary pipeline over a fresh database: key-frame
+    /// extraction, encoding, and insertion. Returns ingestion statistics and
+    /// the map of retained key frames used later by the rerank stage.
     pub fn ingest(
         &self,
         videos: &VideoCollection,
         database: &VectorDatabase,
     ) -> Result<(IngestStats, KeyframeMap)> {
+        let mut keyframes = KeyframeMap::new();
+        let stats = self.ingest_into(videos, database, &mut keyframes)?;
+        Ok((stats, keyframes))
+    }
+
+    /// Appends one batch of videos to `database`, extending `keyframes` with
+    /// the batch's retained key frames. The appended rows land in the
+    /// collection's growing segment(s) and are sealed at the end of the run;
+    /// segments sealed by earlier runs are never rebuilt, which is what makes
+    /// incremental ingest cost proportional to the batch.
+    pub fn ingest_into(
+        &self,
+        videos: &VideoCollection,
+        database: &VectorDatabase,
+        keyframes: &mut KeyframeMap,
+    ) -> Result<IngestStats> {
+        for video in &videos.videos {
+            if video.id > MAX_VIDEO_ID {
+                return Err(LovoError::InvalidState(format!(
+                    "video id {} exceeds the patch-id packing limit {MAX_VIDEO_ID}; \
+                     larger ids would wrap and collide",
+                    video.id
+                )));
+            }
+        }
         let mut stats = IngestStats {
             total_frames: videos.total_frames(),
             ..Default::default()
@@ -110,15 +184,29 @@ impl VideoSummarizer {
             database.create_collection(
                 PATCH_COLLECTION,
                 lovo_store::CollectionConfig::new(self.encoder.config().class_dim)
-                    .with_index_kind(self.index_kind),
+                    .with_index_kind(self.index_kind)
+                    .with_segment_capacity(self.segment_capacity),
             )?;
         }
-        let mut keyframes: KeyframeMap = HashMap::with_capacity(selected.len());
+        let segments_before = database
+            .collection_stats(PATCH_COLLECTION)
+            .map(|s| (s.sealed_segments, s.index_builds))
+            .unwrap_or((0, 0));
+
+        keyframes.reserve(selected.len());
+        let mut frame_batch: Vec<(&[f32], PatchRecord)> = Vec::new();
         for ((video_id, frame), encoding) in selected.iter().zip(encodings.iter()) {
             keyframes.insert((*video_id, frame.index as u32), (*frame).clone());
+            frame_batch.clear();
             for patch in &encoding.patches {
                 if patch.objectness < self.min_objectness {
                     continue;
+                }
+                if patch.patch_index > MAX_PATCH_INDEX {
+                    return Err(LovoError::InvalidState(format!(
+                        "patch index {} exceeds the patch-id packing limit {MAX_PATCH_INDEX}",
+                        patch.patch_index
+                    )));
                 }
                 let patch_id = patch_id(*video_id, frame.index as u32, patch.patch_index);
                 let record = PatchRecord {
@@ -134,28 +222,32 @@ impl VideoSummarizer {
                     ),
                     timestamp: frame.timestamp,
                 };
-                database.insert_patch(PATCH_COLLECTION, &patch.class_embedding, record)?;
-                stats.patches_indexed += 1;
+                frame_batch.push((patch.class_embedding.as_slice(), record));
             }
+            stats.patches_indexed +=
+                database.insert_patches(PATCH_COLLECTION, frame_batch.drain(..))?;
         }
         if stats.patches_indexed == 0 {
             return Err(LovoError::InvalidState(
                 "ingestion produced no patch embeddings (empty collection?)".into(),
             ));
         }
-        database.build_collection(PATCH_COLLECTION)?;
+        database.seal_collection(PATCH_COLLECTION)?;
+        let segments_after = database
+            .collection_stats(PATCH_COLLECTION)
+            .map(|s| (s.sealed_segments, s.index_builds))
+            .unwrap_or((0, 0));
+        stats.segments_sealed = segments_after.0.saturating_sub(segments_before.0);
+        stats.index_builds = segments_after.1.saturating_sub(segments_before.1);
         stats.indexing_seconds = index_start.elapsed().as_secs_f64();
 
-        Ok((stats, keyframes))
+        Ok(stats)
     }
 
-    /// Encodes the selected key frames, splitting the work across a small
-    /// scoped-thread pool when more than one CPU is available.
+    /// Encodes the selected key frames, splitting the work across a scoped
+    /// thread pool of [`VideoSummarizer::workers`] threads.
     fn encode_parallel(&self, selected: &[(u32, &Frame)]) -> Result<Vec<FrameEncoding>> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(1, 4);
+        let workers = self.workers.max(1);
         if workers == 1 || selected.len() < 32 {
             return selected
                 .iter()
@@ -190,8 +282,15 @@ impl VideoSummarizer {
     }
 }
 
-/// Globally unique patch id: video (high bits), frame, patch position.
+/// Globally unique patch id: video (bits 44..63), frame (bits 12..43), patch
+/// position (bits 0..11). Video ids above [`MAX_VIDEO_ID`] and patch indexes
+/// above [`MAX_PATCH_INDEX`] do not fit and are rejected at ingest.
 pub fn patch_id(video_id: u32, frame_index: u32, patch_index: u32) -> u64 {
+    debug_assert!(video_id <= MAX_VIDEO_ID, "video id overflows patch id");
+    debug_assert!(
+        patch_index <= MAX_PATCH_INDEX,
+        "patch index overflows patch id"
+    );
     (u64::from(video_id) << 44) | (u64::from(frame_index) << 12) | u64::from(patch_index & 0xfff)
 }
 
@@ -226,6 +325,34 @@ mod tests {
     }
 
     #[test]
+    fn patch_id_round_trips_at_the_packing_boundary() {
+        // Regression: video ids occupy bits 44..63 (20 bits). The largest
+        // representable id must round-trip; anything larger is rejected at
+        // ingest (see `ingest_rejects_video_ids_beyond_packing_limit`).
+        let id = patch_id(MAX_VIDEO_ID, u32::MAX, MAX_PATCH_INDEX);
+        assert_eq!(
+            split_patch_id(id),
+            (MAX_VIDEO_ID, u32::MAX, MAX_PATCH_INDEX)
+        );
+    }
+
+    #[test]
+    fn ingest_rejects_video_ids_beyond_packing_limit() {
+        let mut videos = small_collection();
+        videos.videos[0].id = MAX_VIDEO_ID + 1;
+        let summarizer = VideoSummarizer::new(&LovoConfig::default()).unwrap();
+        let db = VectorDatabase::new();
+        let err = summarizer.ingest(&videos, &db).unwrap_err();
+        assert!(err.to_string().contains("packing limit"), "{err}");
+
+        // The boundary id itself is accepted.
+        let mut ok_videos = small_collection();
+        ok_videos.videos[0].id = MAX_VIDEO_ID;
+        let (_, keyframes) = summarizer.ingest(&ok_videos, &db).unwrap();
+        assert!(keyframes.keys().any(|(video, _)| *video == MAX_VIDEO_ID));
+    }
+
+    #[test]
     fn patch_ids_are_unique_across_frames_and_patches() {
         use std::collections::HashSet;
         let mut seen = HashSet::new();
@@ -251,6 +378,40 @@ mod tests {
         assert_eq!(keyframes.len(), stats.key_frames);
         assert_eq!(db.metadata_rows(), stats.patches_indexed);
         assert!(stats.total_seconds() > 0.0);
+        assert!(stats.segments_sealed >= 1);
+        assert_eq!(stats.index_builds, stats.segments_sealed);
+    }
+
+    #[test]
+    fn incremental_ingest_seals_only_new_segments() {
+        let first = small_collection();
+        let second = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_frames_per_video(90)
+                .with_seed(17),
+        );
+        // Shift the second batch's video ids past the first batch's.
+        let mut second = second;
+        let offset = first.videos.len() as u32;
+        for video in &mut second.videos {
+            video.id += offset;
+        }
+
+        let summarizer = VideoSummarizer::new(&LovoConfig::default()).unwrap();
+        let db = VectorDatabase::new();
+        let mut keyframes = KeyframeMap::new();
+        let run1 = summarizer.ingest_into(&first, &db, &mut keyframes).unwrap();
+        let builds_after_first = db.collection_stats(PATCH_COLLECTION).unwrap().index_builds;
+        let run2 = summarizer
+            .ingest_into(&second, &db, &mut keyframes)
+            .unwrap();
+        let stats = db.collection_stats(PATCH_COLLECTION).unwrap();
+
+        // The append sealed (and built) only its own segments.
+        assert!(run2.segments_sealed >= 1);
+        assert_eq!(stats.index_builds, builds_after_first + run2.index_builds);
+        assert_eq!(stats.entities, run1.patches_indexed + run2.patches_indexed);
+        assert_eq!(keyframes.len(), run1.key_frames + run2.key_frames);
     }
 
     #[test]
@@ -281,5 +442,30 @@ mod tests {
         let db_all = VectorDatabase::new();
         let (all_stats, _) = unfiltered.ingest(&videos, &db_all).unwrap();
         assert!(filtered_stats.patches_indexed < all_stats.patches_indexed);
+    }
+
+    #[test]
+    fn configured_worker_count_is_respected_and_deterministic() {
+        let videos = small_collection();
+        let serial = VideoSummarizer::new(&LovoConfig::default().with_ingest_workers(1)).unwrap();
+        let parallel = VideoSummarizer::new(&LovoConfig::default().with_ingest_workers(8)).unwrap();
+        assert_eq!(serial.workers(), 1);
+        assert_eq!(parallel.workers(), 8);
+        let db_serial = VectorDatabase::new();
+        let db_parallel = VectorDatabase::new();
+        let (serial_stats, _) = serial.ingest(&videos, &db_serial).unwrap();
+        let (parallel_stats, _) = parallel.ingest(&videos, &db_parallel).unwrap();
+        // Same frames, same patches, regardless of thread count.
+        assert_eq!(serial_stats.key_frames, parallel_stats.key_frames);
+        assert_eq!(serial_stats.patches_indexed, parallel_stats.patches_indexed);
+    }
+
+    #[test]
+    fn auto_worker_count_uses_available_parallelism() {
+        let summarizer = VideoSummarizer::new(&LovoConfig::default()).unwrap();
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(summarizer.workers(), expected);
     }
 }

@@ -38,6 +38,16 @@ impl FlatIndex {
             .position(|&i| i == id)
             .map(|pos| &self.data[pos * self.dim..(pos + 1) * self.dim])
     }
+
+    /// Iterator over the stored `(id, vector)` rows in insertion order. The
+    /// segmented storage layer uses a flat index as its append buffer and
+    /// reads the raw rows back when sealing or compacting a segment.
+    pub fn rows(&self) -> impl Iterator<Item = (VectorId, &[f32])> {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id, &self.data[pos * self.dim..(pos + 1) * self.dim]))
+    }
 }
 
 impl VectorIndex for FlatIndex {
@@ -100,6 +110,7 @@ impl VectorIndex for FlatIndex {
             vectors_scored: self.ids.len(),
             cells_probed: 1,
             exact_rescored: results.len(),
+            ..SearchStats::default()
         };
         Ok((results, stats))
     }

@@ -98,6 +98,21 @@ pub struct SearchStats {
     pub cells_probed: usize,
     /// Number of candidates that were exactly re-scored.
     pub exact_rescored: usize,
+    /// Number of storage segments probed. A single index reports 0; the
+    /// segmented collection layer sets this to its fan-out width.
+    pub segments_probed: usize,
+}
+
+impl SearchStats {
+    /// Folds another search's work counters into this one. The segmented
+    /// storage layer uses this to aggregate per-segment statistics into one
+    /// collection-level report.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.vectors_scored += other.vectors_scored;
+        self.cells_probed += other.cells_probed;
+        self.exact_rescored += other.exact_rescored;
+        self.segments_probed += other.segments_probed;
+    }
 }
 
 /// Common interface over all index families (Flat, IVF-PQ, HNSW).
@@ -164,7 +179,18 @@ impl IndexKind {
 
     /// All index kinds.
     pub const ALL: [IndexKind; 3] = [IndexKind::BruteForce, IndexKind::IvfPq, IndexKind::Hnsw];
+
+    /// True when the family requires an explicit [`VectorIndex::build`]
+    /// (codebook training) before it can be searched. Families that answer
+    /// queries straight after insertion return false.
+    pub fn needs_build(&self) -> bool {
+        matches!(self, IndexKind::IvfPq)
+    }
 }
+
+/// Minimum number of rows for which training-based families are worth their
+/// build cost; segments below this threshold fall back to brute force.
+pub const MIN_TRAINED_SEGMENT_ROWS: usize = 256;
 
 /// Creates an index of the given family for `dim`-dimensional vectors using
 /// default parameters sized for the reproduction's workloads.
@@ -173,6 +199,33 @@ pub fn create_index(kind: IndexKind, dim: usize) -> Result<Box<dyn VectorIndex>>
         IndexKind::BruteForce => Ok(Box::new(FlatIndex::new(dim))),
         IndexKind::IvfPq => Ok(Box::new(IvfPqIndex::new(IvfPqConfig::for_dim(dim))?)),
         IndexKind::Hnsw => Ok(Box::new(HnswIndex::new(HnswConfig::for_dim(dim))?)),
+    }
+}
+
+/// Segment-aware index construction: creates an index of the requested family
+/// sized for a segment of `rows` vectors.
+///
+/// Training-based families degrade on tiny segments (Lloyd's iteration with
+/// more centroids than points, PQ codebooks trained on a handful of samples),
+/// so segments below [`MIN_TRAINED_SEGMENT_ROWS`] fall back to brute force —
+/// which is also faster to both build and scan at that size. Larger IVF-PQ
+/// segments shrink their coarse codebooks to keep at least ~8 vectors per
+/// coarse centroid.
+pub fn create_segment_index(
+    kind: IndexKind,
+    dim: usize,
+    rows: usize,
+) -> Result<Box<dyn VectorIndex>> {
+    match kind {
+        IndexKind::IvfPq if rows < MIN_TRAINED_SEGMENT_ROWS => Ok(Box::new(FlatIndex::new(dim))),
+        IndexKind::IvfPq => {
+            let base = IvfPqConfig::for_dim(dim);
+            let centroids = (rows / 8).clamp(4, base.coarse_centroids);
+            Ok(Box::new(IvfPqIndex::new(
+                base.with_coarse_centroids(centroids),
+            )?))
+        }
+        other => create_index(other, dim),
     }
 }
 
@@ -193,6 +246,68 @@ mod tests {
             let idx = create_index(kind, 32).unwrap();
             assert_eq!(idx.dim(), 32);
             assert!(idx.is_empty());
+        }
+    }
+
+    #[test]
+    fn search_stats_merge_sums_counters() {
+        let mut a = SearchStats {
+            vectors_scored: 10,
+            cells_probed: 2,
+            exact_rescored: 5,
+            segments_probed: 1,
+        };
+        a.merge(&SearchStats {
+            vectors_scored: 7,
+            cells_probed: 3,
+            exact_rescored: 4,
+            segments_probed: 2,
+        });
+        assert_eq!(a.vectors_scored, 17);
+        assert_eq!(a.cells_probed, 5);
+        assert_eq!(a.exact_rescored, 9);
+        assert_eq!(a.segments_probed, 3);
+    }
+
+    #[test]
+    fn only_ivf_pq_needs_build() {
+        assert!(IndexKind::IvfPq.needs_build());
+        assert!(!IndexKind::BruteForce.needs_build());
+        assert!(!IndexKind::Hnsw.needs_build());
+    }
+
+    #[test]
+    fn tiny_ivf_segment_falls_back_to_brute_force() {
+        let small = create_segment_index(IndexKind::IvfPq, 32, 50).unwrap();
+        assert_eq!(small.family(), "BF");
+        let large = create_segment_index(IndexKind::IvfPq, 32, 10_000).unwrap();
+        assert_eq!(large.family(), "IVF-PQ");
+        let hnsw = create_segment_index(IndexKind::Hnsw, 32, 50).unwrap();
+        assert_eq!(hnsw.family(), "HNSW");
+    }
+
+    #[test]
+    fn segment_index_round_trips_small_and_large() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for rows in [40usize, 600] {
+            let dim = 32;
+            let mut idx = create_segment_index(IndexKind::IvfPq, dim, rows).unwrap();
+            let mut rng = SmallRng::seed_from_u64(0x5eed);
+            let vectors: Vec<Vec<f32>> = (0..rows)
+                .map(|_| {
+                    let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                    metric::normalize(&mut v);
+                    v
+                })
+                .collect();
+            for (i, v) in vectors.iter().enumerate() {
+                idx.insert(i as u64, v).unwrap();
+            }
+            idx.build().unwrap();
+            let hits = idx.search(&vectors[7], 3).unwrap();
+            assert_eq!(hits[0].id, 7, "rows={rows}");
+            assert!((hits[0].score - 1.0).abs() < 1e-4);
         }
     }
 

@@ -1,19 +1,39 @@
-//! A named collection of embeddings over a pluggable ANN index.
+//! A named collection of embeddings over a set of storage segments.
+//!
+//! The collection follows the segmented storage model (see [`crate::segment`]):
+//! inserts land in a growing segment that seals into an immutable,
+//! ANN-indexed segment every `segment_capacity` rows; searches fan out over
+//! all segments in parallel and k-way-merge the per-segment top-k; and
+//! [`SegmentedCollection::compact`] merges undersized sealed segments to
+//! bound the fan-out width.
 
-use crate::{Result, StoreError};
-use lovo_index::{create_index, IndexKind, SearchResult, SearchStats, VectorId, VectorIndex};
+use crate::segment::Segment;
+use crate::Result;
+use lovo_index::{IndexKind, SearchResult, SearchStats, VectorId};
 use serde::{Deserialize, Serialize};
+
+/// Default number of rows after which the growing segment seals.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 4096;
+
+/// Collections with fewer total rows than this are searched sequentially:
+/// below it, per-query thread spawns cost about as much as the scans they
+/// parallelize.
+pub const SEQUENTIAL_SEARCH_ROWS: usize = 8192;
 
 /// Configuration of a vector collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CollectionConfig {
     /// Embedding dimensionality.
     pub dim: usize,
-    /// Index family backing the collection.
+    /// Index family backing sealed segments.
     pub index_kind: IndexKind,
     /// Whether inserted vectors are L2-normalized before being stored
     /// (the paper normalizes everything so dot product = cosine, §V-A).
     pub normalize: bool,
+    /// Rows at which the growing segment seals and builds its ANN index.
+    /// Bounds per-segment build cost; smaller values seal (and parallelize)
+    /// more eagerly at the price of a wider search fan-out.
+    pub segment_capacity: usize,
 }
 
 impl CollectionConfig {
@@ -23,6 +43,7 @@ impl CollectionConfig {
             dim,
             index_kind: IndexKind::IvfPq,
             normalize: true,
+            segment_capacity: DEFAULT_SEGMENT_CAPACITY,
         }
     }
 
@@ -31,40 +52,73 @@ impl CollectionConfig {
         self.index_kind = kind;
         self
     }
+
+    /// Builder-style segment capacity override.
+    pub fn with_segment_capacity(mut self, capacity: usize) -> Self {
+        self.segment_capacity = capacity.max(1);
+        self
+    }
 }
 
 /// Size and build statistics of a collection.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct CollectionStats {
-    /// Number of stored vectors.
+    /// Number of stored vectors across all segments.
     pub entities: usize,
-    /// Approximate index memory footprint in bytes.
+    /// Approximate index memory footprint in bytes (sealed segments).
     pub index_bytes: usize,
     /// Approximate raw embedding payload in bytes (before compression).
     pub raw_bytes: usize,
-    /// Whether `build` has been called since the last insert batch.
+    /// Whether every stored row lives in a sealed, index-backed segment.
     pub built: bool,
+    /// Number of sealed (immutable, indexed) segments.
+    pub sealed_segments: usize,
+    /// Rows currently buffered in the growing segment.
+    pub growing_rows: usize,
+    /// Lifetime count of segment index builds (seals + compaction rebuilds).
+    /// Incremental ingest asserts on this: appending a batch must build
+    /// exactly one new segment, never rebuild existing ones.
+    pub index_builds: usize,
+    /// Lifetime count of compaction passes that merged at least one segment.
+    pub compactions: usize,
 }
 
-/// A named collection of embeddings.
-pub struct VectorCollection {
+/// Outcome of one [`SegmentedCollection::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompactionResult {
+    /// Undersized sealed segments that were merged away.
+    pub segments_merged: usize,
+    /// Merged segments created (each with a freshly built index).
+    pub segments_created: usize,
+}
+
+/// A named collection of embeddings over sealed segments plus one growing
+/// append buffer.
+pub struct SegmentedCollection {
     name: String,
     config: CollectionConfig,
-    index: Box<dyn VectorIndex>,
-    inserted: usize,
-    built: bool,
+    sealed: Vec<Segment>,
+    growing: Segment,
+    next_segment_id: u64,
+    index_builds: usize,
+    compactions: usize,
 }
 
-impl VectorCollection {
+/// Historical name of the collection type, kept so call sites that predate
+/// the segmented engine keep compiling.
+pub type VectorCollection = SegmentedCollection;
+
+impl SegmentedCollection {
     /// Creates an empty collection.
     pub fn new(name: impl Into<String>, config: CollectionConfig) -> Result<Self> {
-        let index = create_index(config.index_kind, config.dim)?;
         Ok(Self {
             name: name.into(),
+            growing: Segment::new(0, config.dim, config.index_kind),
             config,
-            index,
-            inserted: 0,
-            built: false,
+            sealed: Vec::new(),
+            next_segment_id: 1,
+            index_builds: 0,
+            compactions: 0,
         })
     }
 
@@ -78,28 +132,40 @@ impl VectorCollection {
         &self.config
     }
 
-    /// Number of stored vectors.
+    /// Number of stored vectors across all segments.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.sealed.iter().map(Segment::len).sum::<usize>() + self.growing.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len() == 0
     }
 
-    /// Inserts one embedding. Vectors are L2-normalized first when the
-    /// configuration requests it.
+    /// Number of segments holding rows (sealed plus a non-empty growing
+    /// buffer) — the search fan-out width.
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + usize::from(!self.growing.is_empty())
+    }
+
+    /// Number of sealed segments.
+    pub fn sealed_segment_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Inserts one embedding into the growing segment, sealing it first if it
+    /// is full. Vectors are L2-normalized when the configuration requests it.
     pub fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
         if self.config.normalize {
             let mut owned = vector.to_vec();
             lovo_index::metric::normalize(&mut owned);
-            self.index.insert(id, &owned)?;
+            self.growing.insert(id, &owned)?;
         } else {
-            self.index.insert(id, vector)?;
+            self.growing.insert(id, vector)?;
         }
-        self.inserted += 1;
-        self.built = false;
+        if self.growing.len() >= self.config.segment_capacity {
+            self.seal_growing()?;
+        }
         Ok(())
     }
 
@@ -116,17 +182,112 @@ impl VectorCollection {
         Ok(count)
     }
 
-    /// Builds (trains) the underlying index. Must be called after ingestion
-    /// and before searching for training-based index families.
-    pub fn build(&mut self) -> Result<()> {
-        self.index.build()?;
-        self.built = true;
+    /// Seals the growing segment (builds its ANN index and retires it to the
+    /// sealed set), leaving a fresh empty growing segment. No-op when the
+    /// buffer is empty.
+    pub fn seal(&mut self) -> Result<()> {
+        if self.growing.is_empty() {
+            return Ok(());
+        }
+        self.seal_growing()
+    }
+
+    fn seal_growing(&mut self) -> Result<()> {
+        // Seal in place first: if the index build fails, the rows stay
+        // buffered (and searchable) in the growing segment instead of being
+        // dropped with a swapped-out local.
+        self.growing.seal()?;
+        let segment = std::mem::replace(
+            &mut self.growing,
+            Segment::new(
+                self.next_segment_id,
+                self.config.dim,
+                self.config.index_kind,
+            ),
+        );
+        self.next_segment_id += 1;
+        self.index_builds += 1;
+        self.sealed.push(segment);
         Ok(())
     }
 
-    /// True when the collection has been built since the last insert.
+    /// Seals any pending rows. Kept under the historical name: before the
+    /// segmented engine, `build` trained the one monolithic index.
+    pub fn build(&mut self) -> Result<()> {
+        self.seal()
+    }
+
+    /// True when every stored row lives in a sealed, index-backed segment.
     pub fn is_built(&self) -> bool {
-        self.built
+        !self.sealed.is_empty() && self.growing.is_empty()
+    }
+
+    /// Merges undersized sealed segments (fewer than half the segment
+    /// capacity) into larger ones, rebuilding one index per merged group.
+    /// Bounds the search fan-out width after many small incremental appends.
+    /// On failure the collection is unchanged: merged segments replace their
+    /// sources only after every new index has built successfully.
+    pub fn compact(&mut self) -> Result<CompactionResult> {
+        // Greedily pack undersized segments into groups of at most
+        // `segment_capacity` rows; singleton groups stay as they are.
+        let threshold = self.config.segment_capacity.div_ceil(2);
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut current_rows = 0usize;
+        for (position, segment) in self.sealed.iter().enumerate() {
+            if segment.len() >= threshold {
+                continue;
+            }
+            if current_rows + segment.len() > self.config.segment_capacity && !current.is_empty() {
+                groups.push(std::mem::take(&mut current));
+                current_rows = 0;
+            }
+            current_rows += segment.len();
+            current.push(position);
+        }
+        if !current.is_empty() {
+            groups.push(current);
+        }
+        groups.retain(|group| group.len() >= 2);
+        if groups.is_empty() {
+            return Ok(CompactionResult::default());
+        }
+
+        // Build every merged segment before touching `self.sealed`, so a
+        // failed index build loses nothing.
+        let mut result = CompactionResult::default();
+        let mut merged_segments: Vec<Segment> = Vec::new();
+        let mut replaced: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for group in &groups {
+            let mut merged = Segment::new(
+                self.next_segment_id + merged_segments.len() as u64,
+                self.config.dim,
+                self.config.index_kind,
+            );
+            for &position in group {
+                for (id, row) in self.sealed[position].raw_rows() {
+                    // Rows were normalized on first insert; copy verbatim.
+                    merged.insert(id, row)?;
+                }
+            }
+            merged.seal()?;
+            result.segments_merged += group.len();
+            result.segments_created += 1;
+            replaced.extend(group.iter().copied());
+            merged_segments.push(merged);
+        }
+
+        self.next_segment_id += merged_segments.len() as u64;
+        self.index_builds += merged_segments.len();
+        self.compactions += 1;
+        let mut position = 0;
+        self.sealed.retain(|_| {
+            let keep = !replaced.contains(&position);
+            position += 1;
+            keep
+        });
+        self.sealed.extend(merged_segments);
+        Ok(result)
     }
 
     /// Searches for the `k` most similar embeddings to `query`.
@@ -134,47 +295,133 @@ impl VectorCollection {
         Ok(self.search_with_stats(query, k)?.0)
     }
 
-    /// Searches and reports probe statistics.
+    /// Searches all segments — in parallel when there is more than one — and
+    /// k-way-merges the per-segment top-k into the collection top-k,
+    /// aggregating per-segment probe statistics.
     pub fn search_with_stats(
         &self,
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<SearchResult>, SearchStats)> {
-        if !self.built
-            && !matches!(
-                self.config.index_kind,
-                IndexKind::BruteForce | IndexKind::Hnsw
-            )
-        {
-            return Err(StoreError::InvalidOperation(format!(
-                "collection '{}' must be built before searching",
-                self.name
-            )));
-        }
-        let result = if self.config.normalize {
-            let mut owned = query.to_vec();
-            lovo_index::metric::normalize(&mut owned);
-            self.index.search_with_stats(&owned, k)?
+        let owned;
+        let query = if self.config.normalize {
+            owned = lovo_index::metric::normalized(query);
+            owned.as_slice()
         } else {
-            self.index.search_with_stats(query, k)?
+            query
         };
-        Ok(result)
+
+        let mut probes: Vec<&Segment> = self.sealed.iter().collect();
+        if !self.growing.is_empty() {
+            probes.push(&self.growing);
+        }
+        // Fan out over at most `available_parallelism` scoped threads, each
+        // probing a chunk of segments — one thread per segment would pay a
+        // spawn per probe, which dominates once appends fragment the
+        // collection into many small segments. Collections small enough that
+        // the spawn overhead rivals the scan work are probed sequentially.
+        let total_rows: usize = probes.iter().map(|segment| segment.len()).sum();
+        let sequential = probes.len() <= 2 || total_rows < SEQUENTIAL_SEARCH_ROWS;
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(probes.len());
+        let per_segment: Vec<(Vec<SearchResult>, SearchStats)> = match probes.len() {
+            0 => return Ok((Vec::new(), SearchStats::default())),
+            1 => vec![probes[0].search_with_stats(query, k)?],
+            _ if sequential => probes
+                .iter()
+                .map(|segment| segment.search_with_stats(query, k))
+                .collect::<Result<Vec<_>>>()?,
+            _ => {
+                let chunk_size = probes.len().div_ceil(workers);
+                let chunks: Vec<&[&Segment]> = probes.chunks(chunk_size).collect();
+                let nested = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk
+                                    .iter()
+                                    .map(|segment| segment.search_with_stats(query, k))
+                                    .collect::<Result<Vec<_>>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("segment search worker panicked"))
+                        .collect::<Result<Vec<_>>>()
+                })?;
+                nested.into_iter().flatten().collect()
+            }
+        };
+
+        let mut stats = SearchStats::default();
+        for (_, segment_stats) in &per_segment {
+            stats.merge(segment_stats);
+        }
+        stats.segments_probed = per_segment.len();
+        Ok((merge_top_k(per_segment, k), stats))
     }
 
     /// Size statistics for the experiment reports (Fig. 11(b)).
     pub fn stats(&self) -> CollectionStats {
+        let index_bytes = self.sealed.iter().map(Segment::index_bytes).sum::<usize>();
         CollectionStats {
-            entities: self.index.len(),
-            index_bytes: self.index.memory_bytes(),
-            raw_bytes: self.index.len() * self.config.dim * std::mem::size_of::<f32>(),
-            built: self.built,
+            entities: self.len(),
+            index_bytes,
+            raw_bytes: self.len() * self.config.dim * std::mem::size_of::<f32>(),
+            built: self.is_built(),
+            sealed_segments: self.sealed.len(),
+            growing_rows: self.growing.len(),
+            index_builds: self.index_builds,
+            compactions: self.compactions,
         }
     }
 
-    /// Name of the backing index family.
+    /// Name of the index family backing sealed segments.
     pub fn index_family(&self) -> &'static str {
-        self.index.family()
+        self.config.index_kind.name()
     }
+}
+
+/// K-way merge of per-segment top-k hit lists (each already sorted best
+/// first) into the global top-k. Ties break by id for determinism; duplicate
+/// ids (e.g. a row replaced while its old copy still lives in a sealed
+/// segment) keep only their best-scored occurrence.
+fn merge_top_k(lists: Vec<(Vec<SearchResult>, SearchStats)>, k: usize) -> Vec<SearchResult> {
+    let mut cursors = vec![0usize; lists.len()];
+    let mut seen = std::collections::HashSet::new();
+    let mut merged = Vec::with_capacity(k.min(lists.iter().map(|(l, _)| l.len()).sum()));
+    while merged.len() < k {
+        let mut best: Option<usize> = None;
+        for (li, (list, _)) in lists.iter().enumerate() {
+            let Some(candidate) = list.get(cursors[li]) else {
+                continue;
+            };
+            best = match best {
+                None => Some(li),
+                Some(bi) => {
+                    let current = &lists[bi].0[cursors[bi]];
+                    let better = candidate.score > current.score
+                        || (candidate.score == current.score && candidate.id < current.id);
+                    Some(if better { li } else { bi })
+                }
+            };
+        }
+        match best {
+            Some(li) => {
+                let hit = lists[li].0[cursors[li]];
+                cursors[li] += 1;
+                if seen.insert(hit.id) {
+                    merged.push(hit);
+                }
+            }
+            None => break,
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -182,12 +429,13 @@ mod tests {
     use super::*;
 
     fn sample_vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        // Seeded-random so every vector is distinct (a modular pattern would
+        // repeat and make nearest-neighbour assertions ambiguous).
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x00c0ffee);
         (0..n)
-            .map(|i| {
-                (0..dim)
-                    .map(|d| ((i * 31 + d * 7) % 97) as f32 / 97.0 - 0.5)
-                    .collect()
-            })
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
             .collect()
     }
 
@@ -206,10 +454,128 @@ mod tests {
     }
 
     #[test]
-    fn searching_unbuilt_ivf_collection_fails() {
+    fn growing_buffer_is_searchable_before_seal() {
+        // The growing segment answers queries by brute-force scan even for
+        // training-based index families — no build step required.
         let mut c = VectorCollection::new("patches", CollectionConfig::new(16)).unwrap();
-        c.insert(0, &sample_vectors(1, 16)[0]).unwrap();
-        assert!(c.search(&sample_vectors(1, 16)[0], 1).is_err());
+        let vectors = sample_vectors(50, 16);
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        assert!(!c.is_built());
+        let (hits, stats) = c.search_with_stats(&vectors[7], 3).unwrap();
+        assert_eq!(hits[0].id, 7);
+        assert_eq!(stats.segments_probed, 1);
+        assert_eq!(stats.vectors_scored, 50);
+    }
+
+    #[test]
+    fn capacity_splits_collection_into_segments() {
+        let cfg = CollectionConfig::new(8).with_segment_capacity(100);
+        let mut c = SegmentedCollection::new("seg", cfg).unwrap();
+        let vectors = sample_vectors(250, 8);
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        // 250 rows / capacity 100 -> 2 sealed + 50 growing.
+        let stats = c.stats();
+        assert_eq!(stats.sealed_segments, 2);
+        assert_eq!(stats.growing_rows, 50);
+        assert_eq!(stats.index_builds, 2);
+        assert_eq!(c.segment_count(), 3);
+
+        // Fan-out search still finds rows in every segment.
+        for probe in [5usize, 150, 230] {
+            let (hits, stats) = c.search_with_stats(&vectors[probe], 3).unwrap();
+            assert_eq!(hits[0].id, probe as u64, "row {probe}");
+            assert_eq!(stats.segments_probed, 3);
+        }
+
+        c.seal().unwrap();
+        assert_eq!(c.stats().sealed_segments, 3);
+        assert_eq!(c.stats().growing_rows, 0);
+        assert!(c.is_built());
+    }
+
+    #[test]
+    fn compaction_merges_undersized_segments() {
+        let cfg = CollectionConfig::new(8).with_segment_capacity(100);
+        let mut c = SegmentedCollection::new("compact", cfg).unwrap();
+        let vectors = sample_vectors(120, 8);
+        // Seal four undersized segments of 30 rows each.
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+            if (i + 1) % 30 == 0 {
+                c.seal().unwrap();
+            }
+        }
+        assert_eq!(c.stats().sealed_segments, 4);
+        let builds_before = c.stats().index_builds;
+
+        let result = c.compact().unwrap();
+        // 4 x 30 rows with capacity 100: three merge into one 90-row segment,
+        // the fourth would overflow the group and stays as-is.
+        assert_eq!(result.segments_merged, 3);
+        assert_eq!(result.segments_created, 1);
+        let stats = c.stats();
+        assert_eq!(stats.sealed_segments, 2);
+        assert_eq!(stats.entities, 120);
+        assert_eq!(stats.index_builds, builds_before + 1);
+        assert_eq!(stats.compactions, 1);
+
+        // Every row is still retrievable after compaction.
+        for probe in [0usize, 45, 119] {
+            let hits = c.search(&vectors[probe], 1).unwrap();
+            assert_eq!(hits[0].id, probe as u64, "row {probe}");
+        }
+
+        // A second pass has nothing left to merge.
+        let again = c.compact().unwrap();
+        assert_eq!(again.segments_merged, 0);
+        assert_eq!(c.stats().compactions, 1);
+    }
+
+    #[test]
+    fn compaction_keeps_large_segments_untouched() {
+        let cfg = CollectionConfig::new(8).with_segment_capacity(100);
+        let mut c = SegmentedCollection::new("keep", cfg).unwrap();
+        let vectors = sample_vectors(160, 8);
+        // One full segment (100 rows, auto-sealed) + one undersized (60).
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        c.seal().unwrap();
+        let builds_before = c.stats().index_builds;
+        let result = c.compact().unwrap();
+        assert_eq!(result.segments_merged, 0);
+        assert_eq!(c.stats().sealed_segments, 2);
+        assert_eq!(c.stats().index_builds, builds_before);
+    }
+
+    #[test]
+    fn segmented_results_match_single_segment_brute_force() {
+        // With brute-force segments the fan-out + k-way merge must be exactly
+        // the global top-k, independent of segmentation.
+        let dim = 16;
+        let vectors = sample_vectors(300, dim);
+        let single_cfg = CollectionConfig::new(dim).with_index_kind(IndexKind::BruteForce);
+        let split_cfg = CollectionConfig::new(dim)
+            .with_index_kind(IndexKind::BruteForce)
+            .with_segment_capacity(37);
+        let mut single = SegmentedCollection::new("one", single_cfg).unwrap();
+        let mut split = SegmentedCollection::new("many", split_cfg).unwrap();
+        for (i, v) in vectors.iter().enumerate() {
+            single.insert(i as u64, v).unwrap();
+            split.insert(i as u64, v).unwrap();
+        }
+        single.seal().unwrap();
+        split.seal().unwrap();
+        assert!(split.stats().sealed_segments > 5);
+        for probe in [3usize, 123, 280] {
+            let a = single.search(&vectors[probe], 10).unwrap();
+            let b = split.search(&vectors[probe], 10).unwrap();
+            assert_eq!(a, b, "probe {probe}");
+        }
     }
 
     #[test]
@@ -253,6 +619,8 @@ mod tests {
         assert!(stats.index_bytes > 0);
         assert_eq!(stats.raw_bytes, 300 * 8 * 4);
         assert!(stats.built);
+        assert_eq!(stats.sealed_segments, 1);
+        assert_eq!(stats.index_builds, 1);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The vector database façade: named collections + metadata, joined by patch id.
 //!
 //! This is the component the paper deploys inside Milvus. `lovo-core` ingests
-//! per-patch embeddings and metadata through [`VectorDatabase::insert_patch`],
-//! builds the index once after ingestion, and answers fast-search queries with
-//! [`VectorDatabase::search`], which returns hits already joined with their
+//! per-patch embeddings and metadata through the batched
+//! [`VectorDatabase::insert_patches`] (one write-lock acquisition per batch),
+//! seals the growing segment once a batch is complete, and answers
+//! fast-search queries with [`VectorDatabase::search`], which fans out over
+//! the collection's segments and returns hits already joined with their
 //! relational rows (frame id, bounding box, timestamp).
 
-use crate::collection::{CollectionConfig, CollectionStats, VectorCollection};
+use crate::collection::{CollectionConfig, CollectionStats, CompactionResult, VectorCollection};
 use crate::metadata::{MetadataStore, PatchRecord};
 use crate::{Result, StoreError};
 use lovo_index::SearchStats;
@@ -69,22 +71,77 @@ impl VectorDatabase {
         vector: &[f32],
         record: PatchRecord,
     ) -> Result<()> {
-        let mut collections = self.collections.write();
-        let col = collections
-            .get_mut(collection)
-            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
-        col.insert(record.patch_id, vector)?;
-        self.metadata.write().insert(record);
-        Ok(())
+        self.insert_patches(collection, std::iter::once((vector, record)))
+            .map(|_| ())
     }
 
-    /// Builds (trains) the named collection's index.
-    pub fn build_collection(&self, collection: &str) -> Result<()> {
+    /// Inserts a batch of patches, taking each write lock once for the whole
+    /// batch instead of once per patch. The ingest path batches per frame, so
+    /// lock traffic scales with frames, not patches.
+    pub fn insert_patches<'a>(
+        &self,
+        collection: &str,
+        patches: impl IntoIterator<Item = (&'a [f32], PatchRecord)>,
+    ) -> Result<usize> {
         let mut collections = self.collections.write();
         let col = collections
             .get_mut(collection)
             .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
-        col.build()
+        // Validate the whole batch before writing anything, so a bad vector
+        // cannot leave the batch half-applied.
+        let batch: Vec<(&[f32], PatchRecord)> = patches.into_iter().collect();
+        for (vector, _) in &batch {
+            if vector.len() != col.config().dim {
+                return Err(StoreError::Index(
+                    lovo_index::IndexError::DimensionMismatch {
+                        expected: col.config().dim,
+                        actual: vector.len(),
+                    },
+                ));
+            }
+        }
+        // Metadata first, and without the metadata lock spanning the vector
+        // inserts (which can trigger a growing-segment seal, i.e. an ANN
+        // index build, that metadata readers must not stall behind). If a
+        // vector insert still fails, the orphaned metadata rows are benign —
+        // the reverse (a searchable vector with no metadata row) would make
+        // every query that surfaces it error.
+        {
+            let mut metadata = self.metadata.write();
+            for (_, record) in &batch {
+                metadata.insert(record.clone());
+            }
+        }
+        for (vector, record) in &batch {
+            col.insert(record.patch_id, vector)?;
+        }
+        Ok(batch.len())
+    }
+
+    /// Seals the named collection's growing segment (builds its ANN index).
+    /// Call after an ingest batch; existing sealed segments are untouched.
+    pub fn seal_collection(&self, collection: &str) -> Result<()> {
+        let mut collections = self.collections.write();
+        let col = collections
+            .get_mut(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        col.seal()
+    }
+
+    /// Builds (trains) the named collection's index. With the segmented
+    /// engine this seals the growing segment; kept under the historical name.
+    pub fn build_collection(&self, collection: &str) -> Result<()> {
+        self.seal_collection(collection)
+    }
+
+    /// Compacts the named collection: merges undersized sealed segments to
+    /// bound the search fan-out width after many incremental appends.
+    pub fn compact_collection(&self, collection: &str) -> Result<CompactionResult> {
+        let mut collections = self.collections.write();
+        let col = collections
+            .get_mut(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        col.compact()
     }
 
     /// Fast search: top-`k` joined hits for the query embedding.
@@ -245,6 +302,57 @@ mod tests {
             .unwrap();
         assert_eq!(db.patch(77).unwrap().video_id, 1);
         assert!(db.patch(78).is_err());
+    }
+
+    #[test]
+    fn batched_insert_matches_per_patch_insert() {
+        let db = VectorDatabase::new();
+        db.create_collection(
+            "p",
+            CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce),
+        )
+        .unwrap();
+        let batch: Vec<(Vec<f32>, PatchRecord)> = (0..20u64)
+            .map(|i| (vector(i as usize, 8), record(i, 0, (i / 4) as u32)))
+            .collect();
+        let inserted = db
+            .insert_patches("p", batch.iter().map(|(v, r)| (v.as_slice(), r.clone())))
+            .unwrap();
+        assert_eq!(inserted, 20);
+        assert_eq!(db.metadata_rows(), 20);
+        let hits = db.search("p", &vector(7, 8), 1).unwrap();
+        assert_eq!(hits[0].patch_id, 7);
+        assert_eq!(hits[0].record.frame_index, 1);
+        assert!(db
+            .insert_patches(
+                "missing",
+                batch.iter().map(|(v, r)| (v.as_slice(), r.clone()))
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn seal_and_compact_round_trip() {
+        let db = VectorDatabase::new();
+        db.create_collection("p", CollectionConfig::new(8).with_segment_capacity(64))
+            .unwrap();
+        // Three undersized append batches, each sealed individually.
+        for batch in 0..3u64 {
+            for i in 0..20u64 {
+                let id = batch * 20 + i;
+                db.insert_patch("p", &vector(id as usize, 8), record(id, 0, 0))
+                    .unwrap();
+            }
+            db.seal_collection("p").unwrap();
+        }
+        assert_eq!(db.collection_stats("p").unwrap().sealed_segments, 3);
+        let result = db.compact_collection("p").unwrap();
+        assert_eq!(result.segments_merged, 3);
+        assert_eq!(db.collection_stats("p").unwrap().sealed_segments, 1);
+        let hits = db.search("p", &vector(42, 8), 1).unwrap();
+        assert_eq!(hits[0].patch_id, 42);
+        assert!(db.seal_collection("missing").is_err());
+        assert!(db.compact_collection("missing").is_err());
     }
 
     #[test]

@@ -7,24 +7,37 @@
 //! collection indexed by PQ + inverted multi-index, while "supplementary
 //! metadata such as key frame identifiers and bounding box coordinates are
 //! stored separately in a relational database", joined through the shared
-//! *patch id*. This crate reproduces that split:
+//! *patch id*. This crate reproduces that split — including Milvus's
+//! segmented storage model, which is what makes the collection incrementally
+//! growable:
 //!
-//! * [`collection::VectorCollection`] — a named collection of L2-normalized
-//!   embeddings over any [`lovo_index::VectorIndex`] family, with insert /
-//!   build / search and growth statistics;
+//! * [`segment::Segment`] — the unit of growth: an append buffer that is
+//!   brute-force-searchable while **growing** and becomes an immutable,
+//!   ANN-indexed **sealed** segment once full;
+//! * [`collection::SegmentedCollection`] — a named collection of
+//!   L2-normalized embeddings over a set of sealed segments plus one growing
+//!   segment; searches fan out over all segments in parallel and k-way-merge
+//!   the per-segment top-k, and [`collection::SegmentedCollection::compact`]
+//!   merges undersized sealed segments to bound the fan-out width;
 //! * [`metadata::MetadataStore`] — the relational side: one row per patch
 //!   (patch id, video id, frame index, patch grid position, bounding box,
 //!   timestamp), with per-frame secondary indexes;
 //! * [`database::VectorDatabase`] — the façade joining the two, which is what
-//!   `lovo-core` talks to.
+//!   `lovo-core` talks to, with batched patch insertion that takes the write
+//!   lock once per batch.
 
 pub mod collection;
 pub mod database;
 pub mod metadata;
+pub mod segment;
 
-pub use collection::{CollectionConfig, CollectionStats, VectorCollection};
+pub use collection::{
+    CollectionConfig, CollectionStats, CompactionResult, SegmentedCollection, VectorCollection,
+    DEFAULT_SEGMENT_CAPACITY,
+};
 pub use database::{JoinedHit, VectorDatabase};
 pub use metadata::{MetadataStore, PatchRecord};
+pub use segment::{Segment, SegmentState};
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug)]

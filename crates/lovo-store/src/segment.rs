@@ -1,0 +1,224 @@
+//! Storage segments: the unit of incremental growth of a collection.
+//!
+//! A collection is not one monolithic index but a set of segments, mirroring
+//! the segmented storage model of the vector database the paper deploys LOVO
+//! in (Milvus): new rows accumulate in a **growing** segment that answers
+//! queries by brute-force scan, and once the segment reaches the collection's
+//! capacity it **seals** — its rows are frozen and an ANN index is built over
+//! them, bounding per-segment build cost no matter how large the collection
+//! becomes. Sealed segments are immutable; appending more data never touches
+//! them, which is what makes incremental ingest cheap.
+//!
+//! Segments retain their raw (normalized) rows alongside the built index so
+//! that compaction can merge undersized sealed segments into one without
+//! re-encoding anything upstream.
+
+use crate::{Result, StoreError};
+use lovo_index::{
+    create_segment_index, FlatIndex, IndexKind, SearchResult, SearchStats, VectorId, VectorIndex,
+};
+
+/// Lifecycle state of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentState {
+    /// Accepting inserts; searched by brute-force scan over the append buffer.
+    Growing,
+    /// Frozen; searched through its built ANN index.
+    Sealed,
+}
+
+/// One storage segment: an append buffer of rows plus, once sealed, a built
+/// ANN index over them.
+pub struct Segment {
+    id: u64,
+    dim: usize,
+    /// Index family used when the segment seals (the growing phase always
+    /// scans the buffer).
+    target_kind: IndexKind,
+    /// The raw rows, kept after sealing for compaction. A flat index doubles
+    /// as the append buffer and the growing phase's exact search.
+    buffer: FlatIndex,
+    /// Present once the segment is sealed.
+    index: Option<Box<dyn VectorIndex>>,
+}
+
+impl Segment {
+    /// Creates an empty growing segment.
+    pub fn new(id: u64, dim: usize, target_kind: IndexKind) -> Self {
+        Self {
+            id,
+            dim,
+            target_kind,
+            buffer: FlatIndex::new(dim),
+            index: None,
+        }
+    }
+
+    /// Segment identifier (unique within its collection).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SegmentState {
+        if self.index.is_some() {
+            SegmentState::Sealed
+        } else {
+            SegmentState::Growing
+        }
+    }
+
+    /// True once [`Segment::seal`] has run.
+    pub fn is_sealed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Family name of the index serving this segment's searches.
+    pub fn family(&self) -> &'static str {
+        match &self.index {
+            Some(index) => index.family(),
+            None => "BF",
+        }
+    }
+
+    /// Appends a row. Errors once the segment is sealed — sealed segments are
+    /// immutable by construction.
+    pub fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
+        if self.is_sealed() {
+            return Err(StoreError::InvalidOperation(format!(
+                "segment {} is sealed and immutable",
+                self.id
+            )));
+        }
+        self.buffer.insert(id, vector)?;
+        Ok(())
+    }
+
+    /// Seals the segment: builds the ANN index over the buffered rows. The
+    /// index family and its parameters are chosen for the segment's actual
+    /// row count (tiny segments stay brute-force). Idempotent; on failure the
+    /// buffered rows are untouched and still searchable.
+    pub fn seal(&mut self) -> Result<()> {
+        if self.is_sealed() {
+            return Ok(());
+        }
+        let mut index = create_segment_index(self.target_kind, self.dim, self.len())?;
+        for (id, row) in self.buffer.rows() {
+            index.insert(id, row)?;
+        }
+        index.build()?;
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// Searches the segment: through the built index when sealed, by exact
+    /// brute-force scan of the append buffer while growing.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        match &self.index {
+            Some(index) => Ok(index.search_with_stats(query, k)?),
+            None => Ok(self.buffer.search_with_stats(query, k)?),
+        }
+    }
+
+    /// Iterator over the raw rows, used by compaction to rebuild a merged
+    /// segment without touching the encoder layer.
+    pub fn raw_rows(&self) -> impl Iterator<Item = (VectorId, &[f32])> {
+        self.buffer.rows()
+    }
+
+    /// Approximate memory footprint of the built index payload in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, |index| index.memory_bytes())
+    }
+
+    /// Approximate raw-row payload in bytes.
+    pub fn raw_bytes(&self) -> usize {
+        self.buffer.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(i: usize, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim)
+            .map(|d| ((i * 31 + d * 7) % 97) as f32 / 97.0 - 0.5)
+            .collect();
+        lovo_index::metric::normalize(&mut v);
+        v
+    }
+
+    #[test]
+    fn growing_segment_scans_without_seal() {
+        let mut seg = Segment::new(0, 8, IndexKind::IvfPq);
+        for i in 0..20 {
+            seg.insert(i as u64, &unit(i, 8)).unwrap();
+        }
+        assert_eq!(seg.state(), SegmentState::Growing);
+        assert_eq!(seg.family(), "BF");
+        let (hits, stats) = seg.search_with_stats(&unit(3, 8), 2).unwrap();
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(stats.vectors_scored, 20);
+    }
+
+    #[test]
+    fn sealing_freezes_the_segment() {
+        let mut seg = Segment::new(1, 8, IndexKind::IvfPq);
+        for i in 0..50 {
+            seg.insert(i as u64, &unit(i, 8)).unwrap();
+        }
+        seg.seal().unwrap();
+        assert_eq!(seg.state(), SegmentState::Sealed);
+        assert!(seg.insert(99, &unit(99, 8)).is_err());
+        let (hits, _) = seg.search_with_stats(&unit(10, 8), 1).unwrap();
+        assert_eq!(hits[0].id, 10);
+        // Sealing again is a no-op.
+        seg.seal().unwrap();
+        assert_eq!(seg.len(), 50);
+    }
+
+    #[test]
+    fn tiny_sealed_segment_uses_brute_force_family() {
+        let mut seg = Segment::new(2, 8, IndexKind::IvfPq);
+        for i in 0..10 {
+            seg.insert(i as u64, &unit(i, 8)).unwrap();
+        }
+        seg.seal().unwrap();
+        assert_eq!(seg.family(), "BF");
+    }
+
+    #[test]
+    fn raw_rows_survive_sealing_for_compaction() {
+        let mut seg = Segment::new(3, 4, IndexKind::BruteForce);
+        seg.insert(7, &[1.0, 0.0, 0.0, 0.0]).unwrap();
+        seg.seal().unwrap();
+        let rows: Vec<_> = seg.raw_rows().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, 7);
+        assert_eq!(rows[0].1, &[1.0, 0.0, 0.0, 0.0]);
+        assert!(seg.raw_bytes() > 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut seg = Segment::new(4, 4, IndexKind::BruteForce);
+        assert!(seg.insert(0, &[1.0, 2.0]).is_err());
+        seg.insert(0, &[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(seg.search_with_stats(&[1.0, 0.0], 1).is_err());
+    }
+}

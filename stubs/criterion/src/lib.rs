@@ -70,6 +70,34 @@ impl Bencher<'_> {
         self.report
             .push((self.label.clone(), start.elapsed(), iters));
     }
+
+    /// Like [`Bencher::iter`], but rebuilds the routine's input with `setup`
+    /// before every timed call; only the routine is measured.
+    pub fn iter_with_setup<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        if self.smoke_only {
+            hint::black_box(routine(setup()));
+            self.report.push((self.label.clone(), Duration::ZERO, 1));
+            return;
+        }
+        // Warm up and estimate per-iteration cost with a single call.
+        let input = setup();
+        let start = Instant::now();
+        hint::black_box(routine(input));
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / estimate.as_nanos()).clamp(1, 1_000) as u64;
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.report.push((self.label.clone(), measured, iters));
+    }
 }
 
 fn format_duration(d: Duration) -> String {
