@@ -1,0 +1,247 @@
+//! Machine-readable hot-path benchmark: emits `BENCH_pr3.json`-style numbers
+//! (QPS + p50/p99 query latency for flat / IVF-PQ / HNSW, ADC list-scan
+//! throughput, and raw dot-kernel throughput) at configurable row counts.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p lovo-bench --bin hot_path_bench -- \
+//!     [--rows 10000,100000] [--dim 64] [--queries 64] [--k 10] [--out PATH]
+//! ```
+//!
+//! JSON goes to stdout; `--out` additionally writes it to a file. CI runs this
+//! with a small `--rows` so the emitter can never bit-rot.
+
+use lovo_index::{
+    FlatIndex, HnswConfig, HnswIndex, IvfPqConfig, IvfPqIndex, ProductQuantizer, VectorIndex,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-workload wall-clock summary over repeated query passes.
+struct LatencyStats {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// Runs `run_query` over every query, repeating whole passes until ~0.5 s of
+/// samples accumulate, and summarizes per-query latency.
+fn measure_queries(queries: &[Vec<f32>], mut run_query: impl FnMut(&[f32])) -> LatencyStats {
+    let mut samples_us: Vec<f64> = Vec::new();
+    let mut total_secs = 0.0f64;
+    let budget_secs = 0.5;
+    let max_passes = 50;
+    for _ in 0..max_passes {
+        for q in queries {
+            let start = Instant::now();
+            run_query(q);
+            let secs = start.elapsed().as_secs_f64();
+            samples_us.push(secs * 1e6);
+            total_secs += secs;
+        }
+        if total_secs >= budget_secs {
+            break;
+        }
+    }
+    samples_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LatencyStats {
+        qps: samples_us.len() as f64 / total_secs,
+        p50_us: percentile(&samples_us, 0.50),
+        p99_us: percentile(&samples_us, 0.99),
+    }
+}
+
+fn random_unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            lovo_index::metric::normalize(&mut v);
+            v
+        })
+        .collect()
+}
+
+fn json_latency(name: &str, s: &LatencyStats) -> String {
+    format!(
+        "\"{name}\": {{\"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+        s.qps, s.p50_us, s.p99_us
+    )
+}
+
+fn bench_rows(rows: usize, dim: usize, num_queries: usize, k: usize) -> String {
+    eprintln!("[hot_path_bench] rows={rows}: generating data...");
+    let vectors = random_unit_vectors(rows, dim, 0xbe7c);
+    let queries = random_unit_vectors(num_queries, dim, 0x9e1);
+
+    // --- Index builds. ---
+    let mut flat = FlatIndex::new(dim);
+    let mut ivf = IvfPqIndex::new(IvfPqConfig::for_dim(dim)).unwrap();
+    let mut hnsw = HnswIndex::new(HnswConfig::for_dim(dim)).unwrap();
+    for (i, v) in vectors.iter().enumerate() {
+        flat.insert(i as u64, v).unwrap();
+        ivf.insert(i as u64, v).unwrap();
+    }
+    eprintln!("[hot_path_bench] rows={rows}: building IVF-PQ...");
+    ivf.build().unwrap();
+    eprintln!("[hot_path_bench] rows={rows}: building HNSW...");
+    for (i, v) in vectors.iter().enumerate() {
+        hnsw.insert(i as u64, v).unwrap();
+    }
+
+    // --- Top-k search per family. ---
+    eprintln!("[hot_path_bench] rows={rows}: measuring search...");
+    let flat_stats = measure_queries(&queries, |q| {
+        black_box(flat.search(q, k).unwrap());
+    });
+    let ivf_stats = measure_queries(&queries, |q| {
+        black_box(ivf.search(q, k).unwrap());
+    });
+    let hnsw_stats = measure_queries(&queries, |q| {
+        black_box(hnsw.search(q, k).unwrap());
+    });
+
+    // --- ADC list scoring: one pass = tabulate the query, then score the
+    // whole contiguous code list the way the inverted lists store it. ---
+    eprintln!("[hot_path_bench] rows={rows}: measuring ADC scan...");
+    let pq = ProductQuantizer::train(
+        lovo_index::PqConfig::for_dim(dim),
+        &vectors[..rows.min(4_000)],
+    )
+    .unwrap();
+    let stride = pq.config().num_subspaces;
+    let codes: Vec<u8> = vectors
+        .iter()
+        .flat_map(|v| pq.encode(v).unwrap().0)
+        .collect();
+    let adc_query = &queries[0];
+    let mut scores: Vec<f32> = Vec::with_capacity(rows);
+    let mut passes = 0u64;
+    let start = Instant::now();
+    let mut checksum = 0.0f32;
+    while start.elapsed().as_secs_f64() < 0.5 {
+        let table = pq.adc_table(adc_query).unwrap();
+        scores.clear();
+        table.score_list(black_box(&codes), stride, &mut scores);
+        checksum += scores[scores.len() - 1];
+        passes += 1;
+    }
+    black_box(checksum);
+    let adc_secs = start.elapsed().as_secs_f64();
+    let codes_scored = passes as f64 * rows as f64;
+    let adc_mcodes = codes_scored / adc_secs / 1e6;
+    let adc_ns_per_code = adc_secs * 1e9 / codes_scored;
+
+    // --- Raw dot kernel throughput over the row-major flat payload. ---
+    let flat_data: Vec<f32> = vectors.iter().flatten().copied().collect();
+    let mut dot_passes = 0u64;
+    let start = Instant::now();
+    let mut acc = 0.0f32;
+    while start.elapsed().as_secs_f64() < 0.3 {
+        for row in flat_data.chunks_exact(dim) {
+            acc += lovo_index::metric::dot(black_box(adc_query), black_box(row));
+        }
+        dot_passes += 1;
+    }
+    black_box(acc);
+    let dot_secs = start.elapsed().as_secs_f64();
+    let dot_melems = dot_passes as f64 * rows as f64 * dim as f64 / dot_secs / 1e6;
+
+    // --- Batch kernel over the same payload. ---
+    let mut batch_out: Vec<f32> = Vec::with_capacity(rows);
+    let mut batch_passes = 0u64;
+    let start = Instant::now();
+    let mut acc = 0.0f32;
+    while start.elapsed().as_secs_f64() < 0.3 {
+        batch_out.clear();
+        lovo_index::metric::dot_batch(
+            black_box(adc_query),
+            black_box(&flat_data),
+            dim,
+            &mut batch_out,
+        );
+        acc += batch_out[batch_out.len() - 1];
+        batch_passes += 1;
+    }
+    black_box(acc);
+    let batch_secs = start.elapsed().as_secs_f64();
+    let batch_melems = batch_passes as f64 * rows as f64 * dim as f64 / batch_secs / 1e6;
+
+    format!(
+        "    \"{rows}\": {{\n      {},\n      {},\n      {},\n      \"adc_scan\": {{\"mcodes_per_sec\": {adc_mcodes:.1}, \"ns_per_code\": {adc_ns_per_code:.2}}},\n      \"dot\": {{\"melems_per_sec\": {dot_melems:.1}}},\n      \"dot_batch\": {{\"melems_per_sec\": {batch_melems:.1}}}\n    }}",
+        json_latency("flat_topk", &flat_stats),
+        json_latency("ivfpq_topk", &ivf_stats),
+        json_latency("hnsw_topk", &hnsw_stats),
+    )
+}
+
+fn main() {
+    let mut rows: Vec<usize> = vec![10_000, 100_000];
+    let mut dim = 64usize;
+    let mut num_queries = 64usize;
+    let mut k = 10usize;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        let take = |name: &str| -> String {
+            value
+                .clone()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag {
+            "--rows" => {
+                rows = take("--rows")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--rows expects integers"))
+                    .collect();
+                i += 2;
+            }
+            "--dim" => {
+                dim = take("--dim").parse().expect("--dim expects an integer");
+                i += 2;
+            }
+            "--queries" => {
+                num_queries = take("--queries").parse().expect("--queries: integer");
+                i += 2;
+            }
+            "--k" => {
+                k = take("--k").parse().expect("--k expects an integer");
+                i += 2;
+            }
+            "--out" => {
+                out = Some(take("--out"));
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let sections: Vec<String> = rows
+        .iter()
+        .map(|&n| bench_rows(n, dim, num_queries, k))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"hot_path_pr3\",\n  \"dim\": {dim},\n  \"k\": {k},\n  \"queries\": {num_queries},\n  \"rows\": {{\n{}\n  }}\n}}",
+        sections.join(",\n")
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).expect("write --out file");
+        eprintln!("[hot_path_bench] wrote {path}");
+    }
+}

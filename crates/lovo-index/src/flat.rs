@@ -1,7 +1,12 @@
 //! Exhaustive (brute-force) index: the accuracy upper bound in Table V.
 
-use crate::metric::{dot, Metric};
-use crate::{IndexError, Result, SearchResult, SearchStats, VectorId, VectorIndex};
+use crate::metric::Metric;
+use crate::{IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
+
+/// Rows scored per batch-kernel pass: 256 rows of ≤128-dim f32 keep the
+/// score buffer and the active slice of the arena inside L1/L2 while the
+/// `TopK` pushes run on still-hot scores.
+const SCAN_BLOCK_ROWS: usize = 256;
 
 /// A flat index that stores every vector and scans all of them per query.
 #[derive(Debug, Clone)]
@@ -86,33 +91,30 @@ impl VectorIndex for FlatIndex {
                 actual: query.len(),
             });
         }
-        let mut results: Vec<SearchResult> = self
-            .ids
-            .iter()
-            .enumerate()
-            .map(|(pos, &id)| {
-                let vector = &self.data[pos * self.dim..(pos + 1) * self.dim];
-                let score = match self.metric {
-                    Metric::InnerProduct => dot(query, vector),
-                    Metric::L2 => self.metric.score(query, vector),
-                };
-                SearchResult { id, score }
-            })
-            .collect();
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-        results.truncate(k);
+        // The metric dispatches once per block (not once per row), each block
+        // streams through the row-major arena with the batch kernel, and a
+        // bounded TopK replaces the collect-all + sort + truncate pattern.
+        let mut top = TopK::new(k);
+        let mut scores: Vec<f32> = Vec::with_capacity(SCAN_BLOCK_ROWS.min(self.ids.len()));
+        if !self.data.is_empty() {
+            let mut base_row = 0usize;
+            for block in self.data.chunks(SCAN_BLOCK_ROWS * self.dim) {
+                scores.clear();
+                self.metric.score_batch(query, block, self.dim, &mut scores);
+                for (offset, &score) in scores.iter().enumerate() {
+                    top.push_hit(self.ids[base_row + offset], score);
+                }
+                base_row += scores.len();
+            }
+        }
         let stats = SearchStats {
             vectors_scored: self.ids.len(),
             cells_probed: 1,
-            exact_rescored: results.len(),
+            exact_rescored: top.len(),
+            heap_pushes: top.pushes(),
             ..SearchStats::default()
         };
-        Ok((results, stats))
+        Ok((top.into_sorted_results(), stats))
     }
 
     fn family(&self) -> &'static str {

@@ -122,6 +122,19 @@ impl PartialOrd for MinScored {
     }
 }
 
+/// Reusable per-search scratch: the visited set, both beam heaps, and the
+/// best-first output buffer survive across the layers of one search (and the
+/// descent hops plus connection beams of one insert), so each query pays one
+/// set of allocations instead of one per layer visit.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    visited: HashSet<u32>,
+    candidates: BinaryHeap<Scored>,
+    results: BinaryHeap<MinScored>,
+    /// Best-first output of the last [`HnswIndex::search_layer`] call.
+    out: Vec<Scored>,
+}
+
 /// The HNSW index.
 pub struct HnswIndex {
     config: HnswConfig,
@@ -129,6 +142,8 @@ pub struct HnswIndex {
     entry_point: Option<u32>,
     max_level: usize,
     rng: SmallRng,
+    /// Scratch reused by [`HnswIndex::link`]'s neighbour pruning.
+    prune_scratch: Vec<(u32, f32)>,
 }
 
 impl HnswIndex {
@@ -141,6 +156,7 @@ impl HnswIndex {
             nodes: Vec::new(),
             entry_point: None,
             max_level: 0,
+            prune_scratch: Vec::new(),
         })
     }
 
@@ -160,24 +176,35 @@ impl HnswIndex {
         dot(query, &self.nodes[node as usize].vector)
     }
 
-    /// Greedy best-first search on one layer, returning up to `ef` best nodes.
+    /// Greedy best-first search on one layer, leaving up to `ef` best nodes
+    /// (best first) in `scratch.out`. All working state lives in `scratch` so
+    /// repeated layer visits of one search reuse the same allocations.
     fn search_layer(
         &self,
         query: &[f32],
         entry: u32,
         ef: usize,
         layer: usize,
+        scratch: &mut SearchScratch,
         stats: &mut SearchStats,
-    ) -> Vec<Scored> {
-        let mut visited: HashSet<u32> = HashSet::new();
+    ) {
+        let SearchScratch {
+            visited,
+            candidates,
+            results,
+            out,
+        } = scratch;
+        visited.clear();
+        candidates.clear();
+        results.clear();
         visited.insert(entry);
         let entry_scored = Scored {
             score: self.score(query, entry),
             node: entry,
         };
         stats.vectors_scored += 1;
-        let mut candidates: BinaryHeap<Scored> = BinaryHeap::from([entry_scored]);
-        let mut results: BinaryHeap<MinScored> = BinaryHeap::from([MinScored(entry_scored)]);
+        candidates.push(entry_scored);
+        results.push(MinScored(entry_scored));
 
         while let Some(current) = candidates.pop() {
             let worst = results
@@ -213,9 +240,12 @@ impl HnswIndex {
                 }
             }
         }
-        let mut out: Vec<Scored> = results.into_iter().map(|m| m.0).collect();
-        out.sort_by(|a, b| b.cmp(a));
-        out
+        out.clear();
+        out.extend(results.drain().map(|m| m.0));
+        // Unstable sort: `Scored`'s ordering is total (score, then node id),
+        // and the beam never holds the same node twice, so no two elements
+        // compare equal and stability could not change the result.
+        out.sort_unstable_by(|a, b| b.cmp(a));
     }
 
     fn link(&mut self, a: u32, b: u32, layer: usize) {
@@ -225,22 +255,34 @@ impl HnswIndex {
             self.config.m
         };
         for (from, to) in [(a, b), (b, a)] {
-            let mut links = self.nodes[from as usize].neighbors[layer].clone();
+            let links = &mut self.nodes[from as usize].neighbors[layer];
             if !links.contains(&to) {
                 links.push(to);
             }
-            if links.len() > max_links {
-                // Prune to the closest neighbours of `from`.
-                let from_vec = &self.nodes[from as usize].vector;
-                let mut scored: Vec<(u32, f32)> = links
-                    .iter()
-                    .map(|&n| (n, dot(from_vec, &self.nodes[n as usize].vector)))
-                    .collect();
-                scored.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(Ordering::Equal));
-                scored.truncate(max_links);
-                links = scored.into_iter().map(|(n, _)| n).collect();
+            if self.nodes[from as usize].neighbors[layer].len() > max_links {
+                // Prune to the closest neighbours of `from`, scoring into the
+                // index-level scratch (taken to appease the borrow on nodes).
+                let mut scored = std::mem::take(&mut self.prune_scratch);
+                scored.clear();
+                let from_node = &self.nodes[from as usize];
+                scored.extend(
+                    from_node.neighbors[layer]
+                        .iter()
+                        .map(|&n| (n, dot(&from_node.vector, &self.nodes[n as usize].vector))),
+                );
+                // Unstable sort: the node-id tie-break makes the comparator a
+                // total order over a duplicate-free link list, so no two
+                // entries compare equal and stability is irrelevant.
+                scored.sort_unstable_by(|x, y| {
+                    y.1.partial_cmp(&x.1)
+                        .unwrap_or(Ordering::Equal)
+                        .then(x.0.cmp(&y.0))
+                });
+                let links = &mut self.nodes[from as usize].neighbors[layer];
+                links.clear();
+                links.extend(scored.iter().take(max_links).map(|&(n, _)| n));
+                self.prune_scratch = scored;
             }
-            self.nodes[from as usize].neighbors[layer] = links;
         }
     }
 }
@@ -276,11 +318,12 @@ impl VectorIndex for HnswIndex {
         };
 
         let mut stats = SearchStats::default();
+        let mut scratch = SearchScratch::default();
         // Descend through the layers above the new node's level greedily.
         for layer in (level + 1..=self.max_level).rev() {
             loop {
-                let found = self.search_layer(vector, current, 1, layer, &mut stats);
-                let best = found[0];
+                self.search_layer(vector, current, 1, layer, &mut scratch, &mut stats);
+                let best = scratch.out[0];
                 if best.node == current {
                     break;
                 }
@@ -291,18 +334,24 @@ impl VectorIndex for HnswIndex {
                 }
             }
         }
-        // Connect on every layer from min(level, max_level) down to 0.
+        // Connect on every layer from min(level, max_level) down to 0. The
+        // chosen neighbours are copied out of the scratch so `link` can take
+        // `&mut self` while the next layer reuses the same buffers.
+        let mut selected: Vec<u32> = Vec::with_capacity(self.config.m);
         for layer in (0..=level.min(self.max_level)).rev() {
-            let neighbors = self.search_layer(
+            self.search_layer(
                 vector,
                 current,
                 self.config.ef_construction,
                 layer,
+                &mut scratch,
                 &mut stats,
             );
-            current = neighbors.first().map(|s| s.node).unwrap_or(current);
-            for scored in neighbors.iter().take(self.config.m) {
-                self.link(new_index, scored.node, layer);
+            current = scratch.out.first().map(|s| s.node).unwrap_or(current);
+            selected.clear();
+            selected.extend(scratch.out.iter().take(self.config.m).map(|s| s.node));
+            for &neighbor in &selected {
+                self.link(new_index, neighbor, layer);
             }
         }
         if level > self.max_level {
@@ -335,15 +384,17 @@ impl VectorIndex for HnswIndex {
         if k == 0 {
             return Ok((Vec::new(), stats));
         }
+        let mut scratch = SearchScratch::default();
         let mut current = entry;
         for layer in (1..=self.max_level).rev() {
-            let found = self.search_layer(query, current, 1, layer, &mut stats);
-            current = found[0].node;
+            self.search_layer(query, current, 1, layer, &mut scratch, &mut stats);
+            current = scratch.out[0].node;
         }
         let ef = self.config.ef_search.max(k);
-        let found = self.search_layer(query, current, ef, 0, &mut stats);
-        let results: Vec<SearchResult> = found
-            .into_iter()
+        self.search_layer(query, current, ef, 0, &mut scratch, &mut stats);
+        let results: Vec<SearchResult> = scratch
+            .out
+            .iter()
             .take(k)
             .map(|s| SearchResult {
                 id: self.nodes[s.node as usize].id,

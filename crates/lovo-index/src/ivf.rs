@@ -23,8 +23,8 @@
 
 use crate::kmeans::{lloyd, nearest_centroid, KMeansConfig};
 use crate::metric::dot;
-use crate::pq::{PqCode, PqConfig, ProductQuantizer};
-use crate::{IndexError, Result, SearchResult, SearchStats, VectorId, VectorIndex};
+use crate::pq::{PqConfig, ProductQuantizer};
+use crate::{IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -118,17 +118,24 @@ impl IvfPqConfig {
     }
 }
 
-/// One stored entry within a cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct CellEntry {
-    id: VectorId,
-    code: PqCode,
-}
-
-/// One cell of the inverted multi-index.
+/// One cell of the inverted multi-index, in structure-of-arrays layout:
+/// entry `i` is (`ids[i]`, `rows[i]`, `codes[i*P..(i+1)*P]`) where `P` is the
+/// residual PQ's subspace count. Keeping every PQ code of a list in one
+/// contiguous byte buffer (instead of one heap-allocated `PqCode` per entry)
+/// lets an ADC pass score the whole list with a single sequential stream.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
 struct Cell {
-    entries: Vec<CellEntry>,
+    ids: Vec<VectorId>,
+    /// Row of each entry in the rescore arena.
+    rows: Vec<u32>,
+    /// Concatenated PQ codes, stride = `pq.num_subspaces`.
+    codes: Vec<u8>,
+}
+
+impl Cell {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
 }
 
 /// The trained portion of the index.
@@ -140,8 +147,18 @@ struct BuiltState {
     pq: ProductQuantizer,
     /// Cells keyed by the packed per-subspace centroid codes.
     cells: HashMap<u64, Cell>,
-    /// Original vectors for exact re-scoring, keyed by id.
-    originals: HashMap<VectorId, Vec<f32>>,
+    /// Row-major arena of the original vectors for exact re-scoring:
+    /// `arena_ids[row]` owns `arena[row * dim..(row + 1) * dim]`. Candidates
+    /// carry their arena row, so the rescore loop streams contiguous memory
+    /// with no per-candidate hash lookup (this replaced a
+    /// `HashMap<VectorId, Vec<f32>>`).
+    arena: Vec<f32>,
+    arena_ids: Vec<VectorId>,
+    /// Arena row of each id. Touched only on the **insert** path, never
+    /// during search: re-inserting an id after build overwrites its arena
+    /// row in place, so every cell entry of that id rescores against the
+    /// latest vector (the overwrite semantics of the HashMap this replaced).
+    id_rows: HashMap<VectorId, u32>,
 }
 
 /// The inverted multi-index with PQ-compressed residuals.
@@ -214,13 +231,27 @@ impl IvfPqIndex {
             .collect();
         let built = self.built.as_mut().expect("mutable built state");
         let code = built.pq.encode(&residual)?;
-        built
-            .cells
-            .entry(key)
-            .or_default()
-            .entries
-            .push(CellEntry { id, code });
-        built.originals.insert(id, vector.to_vec());
+        let dim = self.config.dim;
+        let row = match built.id_rows.entry(id) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                // Same id inserted again: refresh its arena row in place so
+                // earlier cell entries also rescore against the new vector.
+                let row = *entry.get();
+                built.arena[row as usize * dim..(row as usize + 1) * dim].copy_from_slice(vector);
+                row
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                let row = built.arena_ids.len() as u32;
+                entry.insert(row);
+                built.arena_ids.push(id);
+                built.arena.extend_from_slice(vector);
+                row
+            }
+        };
+        let cell = built.cells.entry(key).or_default();
+        cell.ids.push(id);
+        cell.rows.push(row);
+        cell.codes.extend_from_slice(&code.0);
         Ok(())
     }
 }
@@ -231,7 +262,7 @@ impl VectorIndex for IvfPqIndex {
     }
 
     fn len(&self) -> usize {
-        self.pending.len() + self.built.as_ref().map(|b| b.originals.len()).unwrap_or(0)
+        self.pending.len() + self.built.as_ref().map(|b| b.arena_ids.len()).unwrap_or(0)
     }
 
     fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
@@ -307,7 +338,9 @@ impl VectorIndex for IvfPqIndex {
             coarse_codebooks,
             pq,
             cells: HashMap::new(),
-            originals: HashMap::with_capacity(self.pending.len()),
+            arena: Vec::with_capacity(self.pending.len() * self.config.dim),
+            arena_ids: Vec::with_capacity(self.pending.len()),
+            id_rows: HashMap::with_capacity(self.pending.len()),
         });
 
         // Move every pending vector into its cell.
@@ -340,70 +373,63 @@ impl VectorIndex for IvfPqIndex {
         let mut stats = SearchStats::default();
 
         // --- Algorithm 1, lines 2–7: per-subspace centroid scores, Top-A. ---
+        // Bounded selection; centroid index doubles as the tie-break id, which
+        // matches the stable sort this replaced (ties kept ascending index).
         let mut top_per_subspace: Vec<Vec<(usize, f32)>> =
             Vec::with_capacity(self.config.coarse_subspaces);
         for (p, codebook) in built.coarse_codebooks.iter().enumerate() {
             let q_sub = &query[p * sub_dim..(p + 1) * sub_dim];
-            let mut scored: Vec<(usize, f32)> = codebook
-                .iter()
-                .enumerate()
-                .map(|(m, c)| (m, dot(q_sub, c)))
-                .collect();
-            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            scored.truncate(self.config.nprobe);
-            top_per_subspace.push(scored);
+            let mut top = TopK::new(self.config.nprobe);
+            for (m, c) in codebook.iter().enumerate() {
+                top.push_hit(m as u64, dot(q_sub, c));
+            }
+            stats.heap_pushes += top.pushes();
+            top_per_subspace.push(
+                top.into_sorted_entries()
+                    .into_iter()
+                    .map(|e| (e.id as usize, e.score))
+                    .collect(),
+            );
         }
-
-        // Enumerate candidate cells from the Cartesian product of the Top-A
-        // lists, best combined coarse score first.
-        let mut cells: Vec<(u64, f32)> = Vec::new();
-        enumerate_cells(&top_per_subspace, &mut |codes, coarse_score| {
-            cells.push((Self::pack_cell_key(codes), coarse_score));
-        });
-        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
         // --- Algorithm 1, lines 8–12: approximate scores via the ADC table. ---
+        // Every cell in the Cartesian product of the Top-A lists is probed and
+        // the candidate selection below is order-independent, so the cells
+        // need no best-first sort. Each non-empty cell's contiguous code list
+        // is scored in one ADC pass; candidates carry their rescore-arena row
+        // through the bounded selector.
         let adc = built.pq.adc_table(query)?;
-        let mut candidates: Vec<SearchResult> = Vec::new();
-        for (key, coarse_score) in &cells {
-            let Some(cell) = built.cells.get(key) else {
-                continue;
+        let stride = self.config.pq.num_subspaces;
+        let keep = k.saturating_mul(self.config.refine_factor).max(k);
+        let mut approx: TopK<u32> = TopK::new(keep);
+        let mut list_scores: Vec<f32> = Vec::new();
+        enumerate_cells(&top_per_subspace, &mut |codes, coarse_score| {
+            let Some(cell) = built.cells.get(&Self::pack_cell_key(codes)) else {
+                return;
             };
             stats.cells_probed += 1;
-            for entry in &cell.entries {
-                let approx = coarse_score + adc.score(&entry.code);
-                candidates.push(SearchResult {
-                    id: entry.id,
-                    score: approx,
-                });
-                stats.vectors_scored += 1;
+            stats.vectors_scored += cell.len();
+            list_scores.clear();
+            adc.score_list(&cell.codes, stride, &mut list_scores);
+            for ((&id, &row), &adc_score) in cell.ids.iter().zip(&cell.rows).zip(&list_scores) {
+                approx.push(id, coarse_score + adc_score, row);
             }
-        }
-
-        // Keep the best k * refine_factor candidates by approximate score.
-        let keep = k.saturating_mul(self.config.refine_factor).max(k);
-        candidates.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
         });
-        candidates.truncate(keep);
+        stats.heap_pushes += approx.pushes();
 
         // --- Algorithm 1, lines 13–17: exact re-scoring and final ordering. ---
-        for candidate in &mut candidates {
-            if let Some(original) = built.originals.get(&candidate.id) {
-                candidate.score = dot(query, original);
-                stats.exact_rescored += 1;
-            }
+        // The arena rows of the kept candidates stream straight out of the
+        // row-major arena — no hash lookup per candidate.
+        let dim = self.config.dim;
+        let mut top = TopK::new(k);
+        for entry in approx.into_sorted_entries() {
+            let row = entry.payload as usize;
+            let exact = dot(query, &built.arena[row * dim..(row + 1) * dim]);
+            stats.exact_rescored += 1;
+            top.push_hit(entry.id, exact);
         }
-        candidates.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
-        });
-        candidates.truncate(k);
-        Ok((candidates, stats))
+        stats.heap_pushes += top.pushes();
+        Ok((top.into_sorted_results(), stats))
     }
 
     fn family(&self) -> &'static str {
@@ -418,7 +444,9 @@ impl VectorIndex for IvfPqIndex {
             .cells
             .values()
             .map(|c| {
-                c.entries.len() * (self.config.pq.num_subspaces + std::mem::size_of::<VectorId>())
+                c.codes.len()
+                    + c.ids.len() * std::mem::size_of::<VectorId>()
+                    + c.rows.len() * std::mem::size_of::<u32>()
             })
             .sum();
         let centroid_bytes = self.config.coarse_subspaces
@@ -626,6 +654,22 @@ mod tests {
         ivf.insert(999_999, &new_vec).unwrap();
         let hits = ivf.search(&new_vec, 1).unwrap();
         assert_eq!(hits[0].id, 999_999);
+    }
+
+    #[test]
+    fn reinserting_an_existing_id_refreshes_its_vector() {
+        // Post-build re-insertion of an id must behave like the overwrite it
+        // historically was: len() still counts distinct ids, and every cell
+        // entry of that id rescores against the latest vector.
+        let (mut ivf, _, _) = build_index(1_000, 32, 77);
+        let len_before = ivf.len();
+        let mut rng = SmallRng::seed_from_u64(321);
+        let replacement = random_unit(32, &mut rng);
+        ivf.insert(123, &replacement).unwrap();
+        assert_eq!(ivf.len(), len_before);
+        let hits = ivf.search(&replacement, 1).unwrap();
+        assert_eq!(hits[0].id, 123);
+        assert!(hits[0].score > 0.999);
     }
 
     #[test]

@@ -101,6 +101,9 @@ pub struct SearchStats {
     /// Number of storage segments probed. A single index reports 0; the
     /// segmented collection layer sets this to its fan-out width.
     pub segments_probed: usize,
+    /// Number of candidates offered to bounded [`TopK`] selectors. Selection
+    /// is O(n log k) in this, versus the O(n log n) of a full sort.
+    pub heap_pushes: usize,
 }
 
 impl SearchStats {
@@ -112,6 +115,151 @@ impl SearchStats {
         self.cells_probed += other.cells_probed;
         self.exact_rescored += other.exact_rescored;
         self.segments_probed += other.segments_probed;
+        self.heap_pushes += other.heap_pushes;
+    }
+}
+
+/// One candidate held by a [`TopK`] selector: the score, the external id used
+/// for deterministic tie-breaking, and a caller-defined payload carried along
+/// (e.g. the rescore-arena row of an IVF candidate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKEntry<P: Copy = ()> {
+    /// Similarity score, higher is better.
+    pub score: f32,
+    /// External id; equal scores rank the smaller id first.
+    pub id: VectorId,
+    /// Caller payload, ignored by the ordering.
+    pub payload: P,
+}
+
+impl<P: Copy> TopKEntry<P> {
+    /// True when `self` outranks `other` under the crate-wide result order:
+    /// score descending, then id ascending.
+    #[inline]
+    fn beats(&self, other: &Self) -> bool {
+        match self.score.partial_cmp(&other.score) {
+            Some(std::cmp::Ordering::Greater) => true,
+            Some(std::cmp::Ordering::Less) => false,
+            _ => self.id < other.id,
+        }
+    }
+}
+
+/// Heap wrapper whose `Ord` ranks the *worst* entry greatest, so a max-heap
+/// of `Worst` keeps its peek on the next eviction candidate.
+#[derive(Debug, Clone, Copy)]
+struct Worst<P: Copy>(TopKEntry<P>);
+
+impl<P: Copy> PartialEq for Worst<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl<P: Copy> Eq for Worst<P> {}
+
+impl<P: Copy> Ord for Worst<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Greater = worse: lower score first, then higher id. NaN scores
+        // compare equal, consistent with every sort in this crate.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.0.id.cmp(&other.0.id))
+    }
+}
+
+impl<P: Copy> PartialOrd for Worst<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded top-k selection: a size-`k` min-heap that keeps the `k` best
+/// candidates seen so far in O(log k) per offer, replacing the
+/// collect-everything + `sort_by` + `truncate` pattern (O(n log n) and a
+/// candidate-count-sized allocation) on every search path.
+///
+/// The selected set and its final ordering are identical to a full sort by
+/// score descending with ties broken by ascending id — the crate's
+/// determinism contract — which the property tests in
+/// `tests/hot_path_properties.rs` assert exhaustively.
+#[derive(Debug, Clone)]
+pub struct TopK<P: Copy = ()> {
+    k: usize,
+    heap: std::collections::BinaryHeap<Worst<P>>,
+    pushes: usize,
+}
+
+impl<P: Copy> TopK<P> {
+    /// Creates a selector keeping the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k.min(4096).saturating_add(1)),
+            pushes: 0,
+        }
+    }
+
+    /// Offers one candidate. Kept only if fewer than `k` entries are held or
+    /// it beats the current worst (score descending, id ascending on ties).
+    #[inline]
+    pub fn push(&mut self, id: VectorId, score: f32, payload: P) {
+        self.pushes += 1;
+        let entry = TopKEntry { score, id, payload };
+        if self.heap.len() < self.k {
+            self.heap.push(Worst(entry));
+        } else if let Some(mut worst) = self.heap.peek_mut() {
+            if entry.beats(&worst.0) {
+                *worst = Worst(entry);
+            }
+        }
+    }
+
+    /// Number of entries currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entry has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total candidates offered via [`TopK::push`], for `heap_pushes` stats.
+    pub fn pushes(&self) -> usize {
+        self.pushes
+    }
+
+    /// Consumes the selector, returning the kept entries best-first.
+    pub fn into_sorted_entries(self) -> Vec<TopKEntry<P>> {
+        // Ascending `Worst` order is exactly best-first.
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|w| w.0)
+            .collect()
+    }
+}
+
+impl TopK<()> {
+    /// Payload-free convenience for callers selecting plain search hits.
+    #[inline]
+    pub fn push_hit(&mut self, id: VectorId, score: f32) {
+        self.push(id, score, ());
+    }
+
+    /// Consumes the selector, returning the kept hits best-first.
+    pub fn into_sorted_results(self) -> Vec<SearchResult> {
+        self.into_sorted_entries()
+            .into_iter()
+            .map(|e| SearchResult {
+                id: e.id,
+                score: e.score,
+            })
+            .collect()
     }
 }
 
@@ -256,17 +404,55 @@ mod tests {
             cells_probed: 2,
             exact_rescored: 5,
             segments_probed: 1,
+            heap_pushes: 11,
         };
         a.merge(&SearchStats {
             vectors_scored: 7,
             cells_probed: 3,
             exact_rescored: 4,
             segments_probed: 2,
+            heap_pushes: 6,
         });
         assert_eq!(a.vectors_scored, 17);
         assert_eq!(a.cells_probed, 5);
         assert_eq!(a.exact_rescored, 9);
         assert_eq!(a.segments_probed, 3);
+        assert_eq!(a.heap_pushes, 17);
+    }
+
+    #[test]
+    fn top_k_keeps_best_with_id_tie_break() {
+        let mut top = TopK::new(3);
+        for (id, score) in [(9u64, 0.5f32), (2, 0.9), (7, 0.5), (1, 0.1), (4, 0.9)] {
+            top.push_hit(id, score);
+        }
+        assert_eq!(top.pushes(), 5);
+        assert_eq!(top.len(), 3);
+        let hits = top.into_sorted_results();
+        // Score descending, ties (0.9, 0.9) and (0.5, 0.5) by ascending id.
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![2, 4, 7],);
+        assert_eq!(hits[2].score, 0.5);
+    }
+
+    #[test]
+    fn top_k_zero_capacity_keeps_nothing() {
+        let mut top = TopK::new(0);
+        top.push_hit(1, 1.0);
+        assert!(top.is_empty());
+        assert_eq!(top.pushes(), 1);
+        assert!(top.into_sorted_results().is_empty());
+    }
+
+    #[test]
+    fn top_k_carries_payload() {
+        let mut top: TopK<u32> = TopK::new(2);
+        top.push(10, 0.3, 100);
+        top.push(20, 0.8, 200);
+        top.push(30, 0.5, 300);
+        let entries = top.into_sorted_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!((entries[0].id, entries[0].payload), (20, 200));
+        assert_eq!((entries[1].id, entries[1].payload), (30, 300));
     }
 
     #[test]

@@ -96,28 +96,76 @@ pub struct ProductQuantizer {
     codebooks: Vec<Vec<Vec<f32>>>,
 }
 
-/// ADC lookup table for one query: `table[p][m]` is the inner product of the
-/// query's `p`-th sub-vector with centroid `m` of subspace `p`.
+/// ADC lookup table for one query, stored as one contiguous strided buffer:
+/// `table[p * M + m]` is the inner product of the query's `p`-th sub-vector
+/// with centroid `m` of subspace `p` (`M` = centroids per subspace).
+///
+/// The flat layout replaces the earlier `Vec<Vec<f32>>`: the whole table for
+/// the default configuration (8 × 64 entries) is 2 KiB of consecutive memory,
+/// so an ADC scan over a code list never chases an outer-vec pointer.
 #[derive(Debug, Clone)]
 pub struct AdcTable {
-    table: Vec<Vec<f32>>,
+    table: Vec<f32>,
+    centroids_per_subspace: usize,
 }
 
 impl AdcTable {
     /// Approximate inner product between the tabulated query and a stored code.
     #[inline]
     pub fn score(&self, code: &PqCode) -> f32 {
-        code.0
-            .iter()
-            .enumerate()
-            .map(|(p, &c)| self.table[p][c as usize])
-            .sum()
+        self.score_codes(&code.0)
+    }
+
+    /// Approximate inner product for one code stored as a raw byte slice
+    /// (one byte per subspace), as kept in contiguous inverted-list storage.
+    #[inline]
+    pub fn score_codes(&self, codes: &[u8]) -> f32 {
+        let mut base = 0usize;
+        let mut acc = 0.0f32;
+        for &c in codes {
+            acc += self.table[base + c as usize];
+            base += self.centroids_per_subspace;
+        }
+        acc
+    }
+
+    /// Scores a whole inverted list stored as one contiguous code buffer
+    /// (`codes.len() / stride` entries of `stride` bytes each), appending one
+    /// approximate score per entry to `out`. This is the bulk ADC kernel: the
+    /// table stays resident in L1 while the code bytes stream sequentially,
+    /// and four entries are scored per pass so their independent accumulator
+    /// chains overlap — one entry alone is latency-bound on its serial float
+    /// adds. Each entry still accumulates left-to-right across subspaces, so
+    /// scores are bit-identical to [`AdcTable::score_codes`].
+    pub fn score_list(&self, codes: &[u8], stride: usize, out: &mut Vec<f32>) {
+        debug_assert!(stride > 0);
+        debug_assert_eq!(codes.len() % stride, 0);
+        out.reserve(codes.len() / stride);
+        let mut quads = codes.chunks_exact(stride * 4);
+        for quad in &mut quads {
+            let (c0, rest) = quad.split_at(stride);
+            let (c1, rest) = rest.split_at(stride);
+            let (c2, c3) = rest.split_at(stride);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let mut base = 0usize;
+            for i in 0..stride {
+                s0 += self.table[base + c0[i] as usize];
+                s1 += self.table[base + c1[i] as usize];
+                s2 += self.table[base + c2[i] as usize];
+                s3 += self.table[base + c3[i] as usize];
+                base += self.centroids_per_subspace;
+            }
+            out.extend_from_slice(&[s0, s1, s2, s3]);
+        }
+        for entry in quads.remainder().chunks_exact(stride) {
+            out.push(self.score_codes(entry));
+        }
     }
 
     /// Per-subspace partial score (used by the inverted multi-index search).
     #[inline]
     pub fn subspace_score(&self, subspace: usize, code: u8) -> f32 {
-        self.table[subspace][code as usize]
+        self.table[subspace * self.centroids_per_subspace + code as usize]
     }
 }
 
@@ -216,16 +264,19 @@ impl ProductQuantizer {
             });
         }
         let sub_dim = self.config.subspace_dim();
-        let table = self
-            .codebooks
-            .iter()
-            .enumerate()
-            .map(|(p, codebook)| {
-                let q_sub = &query[p * sub_dim..(p + 1) * sub_dim];
-                codebook.iter().map(|c| dot(q_sub, c)).collect()
-            })
-            .collect();
-        Ok(AdcTable { table })
+        let centroids = self.config.centroids_per_subspace;
+        let mut table = Vec::with_capacity(self.config.num_subspaces * centroids);
+        for (p, codebook) in self.codebooks.iter().enumerate() {
+            let q_sub = &query[p * sub_dim..(p + 1) * sub_dim];
+            table.extend(codebook.iter().map(|c| dot(q_sub, c)));
+            // Lloyd's trainer guarantees `centroids` rows per codebook, so the
+            // stride of the flat layout is uniform.
+            debug_assert_eq!(table.len(), (p + 1) * centroids);
+        }
+        Ok(AdcTable {
+            table,
+            centroids_per_subspace: centroids,
+        })
     }
 
     /// Mean squared reconstruction error over a sample (a quality diagnostic

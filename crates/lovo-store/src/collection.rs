@@ -9,8 +9,9 @@
 
 use crate::segment::Segment;
 use crate::Result;
-use lovo_index::{IndexKind, SearchResult, SearchStats, VectorId};
+use lovo_index::{IndexKind, SearchResult, SearchStats, TopK, VectorId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Default number of rows after which the growing segment seals.
 pub const DEFAULT_SEGMENT_CAPACITY: usize = 4096;
@@ -296,8 +297,8 @@ impl SegmentedCollection {
     }
 
     /// Searches all segments — in parallel when there is more than one — and
-    /// k-way-merges the per-segment top-k into the collection top-k,
-    /// aggregating per-segment probe statistics.
+    /// merges the per-segment top-k into the collection top-k with a bounded
+    /// [`TopK`] selection, aggregating per-segment probe statistics.
     pub fn search_with_stats(
         &self,
         query: &[f32],
@@ -320,31 +321,36 @@ impl SegmentedCollection {
         // spawn per probe, which dominates once appends fragment the
         // collection into many small segments. Collections small enough that
         // the spawn overhead rivals the scan work are probed sequentially.
+        // Each worker folds its chunk's hits into ONE reused merge scratch as
+        // segments finish, instead of collecting a per-segment result vec.
         let total_rows: usize = probes.iter().map(|segment| segment.len()).sum();
         let sequential = probes.len() <= 2 || total_rows < SEQUENTIAL_SEARCH_ROWS;
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(probes.len());
-        let per_segment: Vec<(Vec<SearchResult>, SearchStats)> = match probes.len() {
+        let per_thread: Vec<MergeScratch> = match probes.len() {
             0 => return Ok((Vec::new(), SearchStats::default())),
-            1 => vec![probes[0].search_with_stats(query, k)?],
-            _ if sequential => probes
-                .iter()
-                .map(|segment| segment.search_with_stats(query, k))
-                .collect::<Result<Vec<_>>>()?,
+            _ if sequential => {
+                let mut scratch = MergeScratch::default();
+                for segment in &probes {
+                    scratch.fold(segment.search_with_stats(query, k)?);
+                }
+                vec![scratch]
+            }
             _ => {
                 let chunk_size = probes.len().div_ceil(workers);
                 let chunks: Vec<&[&Segment]> = probes.chunks(chunk_size).collect();
-                let nested = std::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = chunks
                         .iter()
                         .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk
-                                    .iter()
-                                    .map(|segment| segment.search_with_stats(query, k))
-                                    .collect::<Result<Vec<_>>>()
+                            scope.spawn(move || -> Result<MergeScratch> {
+                                let mut scratch = MergeScratch::default();
+                                for segment in chunk.iter() {
+                                    scratch.fold(segment.search_with_stats(query, k)?);
+                                }
+                                Ok(scratch)
                             })
                         })
                         .collect();
@@ -352,17 +358,39 @@ impl SegmentedCollection {
                         .into_iter()
                         .map(|handle| handle.join().expect("segment search worker panicked"))
                         .collect::<Result<Vec<_>>>()
-                })?;
-                nested.into_iter().flatten().collect()
+                })?
             }
         };
 
-        let mut stats = SearchStats::default();
-        for (_, segment_stats) in &per_segment {
-            stats.merge(segment_stats);
+        // Merge the per-thread folds: best score per id across all threads,
+        // then one bounded top-k selection. The selector's (score desc, id
+        // asc) total order over now-unique ids makes the result independent
+        // of fold and map-iteration order.
+        let mut threads = per_thread.into_iter();
+        let mut merged = threads.next().expect("at least one fan-out worker");
+        for scratch in threads {
+            merged.stats.merge(&scratch.stats);
+            merged.probes += scratch.probes;
+            for (id, score) in scratch.best {
+                merged
+                    .best
+                    .entry(id)
+                    .and_modify(|best| *best = best.max(score))
+                    .or_insert(score);
+            }
         }
-        stats.segments_probed = per_segment.len();
-        Ok((merge_top_k(per_segment, k), stats))
+        let MergeScratch {
+            best,
+            mut stats,
+            probes: probed,
+        } = merged;
+        let mut top = TopK::new(k);
+        for (id, score) in best {
+            top.push_hit(id, score);
+        }
+        stats.heap_pushes += top.pushes();
+        stats.segments_probed = probed;
+        Ok((top.into_sorted_results(), stats))
     }
 
     /// Size statistics for the experiment reports (Fig. 11(b)).
@@ -386,42 +414,32 @@ impl SegmentedCollection {
     }
 }
 
-/// K-way merge of per-segment top-k hit lists (each already sorted best
-/// first) into the global top-k. Ties break by id for determinism; duplicate
-/// ids (e.g. a row replaced while its old copy still lives in a sealed
-/// segment) keep only their best-scored occurrence.
-fn merge_top_k(lists: Vec<(Vec<SearchResult>, SearchStats)>, k: usize) -> Vec<SearchResult> {
-    let mut cursors = vec![0usize; lists.len()];
-    let mut seen = std::collections::HashSet::new();
-    let mut merged = Vec::with_capacity(k.min(lists.iter().map(|(l, _)| l.len()).sum()));
-    while merged.len() < k {
-        let mut best: Option<usize> = None;
-        for (li, (list, _)) in lists.iter().enumerate() {
-            let Some(candidate) = list.get(cursors[li]) else {
-                continue;
-            };
-            best = match best {
-                None => Some(li),
-                Some(bi) => {
-                    let current = &lists[bi].0[cursors[bi]];
-                    let better = candidate.score > current.score
-                        || (candidate.score == current.score && candidate.id < current.id);
-                    Some(if better { li } else { bi })
-                }
-            };
-        }
-        match best {
-            Some(li) => {
-                let hit = lists[li].0[cursors[li]];
-                cursors[li] += 1;
-                if seen.insert(hit.id) {
-                    merged.push(hit);
-                }
-            }
-            None => break,
+/// Per-worker fan-out scratch: the best score seen per id (duplicate ids —
+/// e.g. a row replaced while its old copy still lives in a sealed segment —
+/// keep only their best-scored occurrence), merged work counters, and the
+/// number of segments this worker probed. One scratch lives per search
+/// thread and is reused across every segment in the worker's chunk, so the
+/// fan-out holds at most `k` hits per probed segment transiently instead of
+/// retaining every per-segment result vec until the final merge.
+#[derive(Debug, Default)]
+struct MergeScratch {
+    best: HashMap<VectorId, f32>,
+    stats: SearchStats,
+    probes: usize,
+}
+
+impl MergeScratch {
+    /// Folds one segment's top-k (hits, stats) into the scratch.
+    fn fold(&mut self, (hits, stats): (Vec<SearchResult>, SearchStats)) {
+        self.probes += 1;
+        self.stats.merge(&stats);
+        for hit in hits {
+            self.best
+                .entry(hit.id)
+                .and_modify(|best| *best = best.max(hit.score))
+                .or_insert(hit.score);
         }
     }
-    merged
 }
 
 #[cfg(test)]
