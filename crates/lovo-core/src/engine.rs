@@ -1,22 +1,31 @@
 //! The LOVO system façade and the two-stage Query Strategy (§VI).
+//!
+//! Since the planner refactor, every query entry point routes through one
+//! **plan → execute** pipeline: [`crate::planner::QueryPlanner`] compiles the
+//! spec (text, predicate, k) into a staged [`crate::planner::QueryPlan`] and
+//! [`crate::exec`] runs it — encode → prune → coarse filtered search →
+//! rerank → aggregate — recording per-stage timings.
 
 use crate::config::LovoConfig;
-use crate::summary::{split_patch_id, IngestStats, KeyframeMap, VideoSummarizer, PATCH_COLLECTION};
-use crate::{LovoError, Result};
-use lovo_encoder::cross_modality::CandidateFrame;
-use lovo_encoder::{CrossModalityTransformer, RerankedFrame, TextEncoder};
+use crate::planner::{QueryPlan, QueryPlanner, QuerySpec};
+use crate::summary::{IngestStats, KeyframeMap, VideoSummarizer, PATCH_COLLECTION};
+use crate::{exec, LovoError, Result};
+use lovo_encoder::{CrossModalityTransformer, TextEncoder};
 use lovo_index::SearchStats;
 use lovo_store::VectorDatabase;
 use lovo_video::bbox::BoundingBox;
 use lovo_video::VideoCollection;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Wall-clock timings of one query, split by stage (Fig. 9 reports these).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct QueryTimings {
     /// Text encoding seconds.
     pub text_encoding_seconds: f64,
+    /// Predicate-pushdown seconds: compiling the metadata predicate into the
+    /// id filter + zone-map ranges (includes the metadata join for time and
+    /// class predicates). Zero for unfiltered queries.
+    pub prune_seconds: f64,
     /// Fast-search (index probe) seconds.
     pub fast_search_seconds: f64,
     /// Cross-modality rerank seconds.
@@ -26,7 +35,30 @@ pub struct QueryTimings {
 impl QueryTimings {
     /// Total user-perceived search latency.
     pub fn total_seconds(&self) -> f64 {
-        self.text_encoding_seconds + self.fast_search_seconds + self.rerank_seconds
+        self.text_encoding_seconds
+            + self.prune_seconds
+            + self.fast_search_seconds
+            + self.rerank_seconds
+    }
+
+    /// Text-encoding stage in milliseconds.
+    pub fn encode_ms(&self) -> f64 {
+        self.text_encoding_seconds * 1e3
+    }
+
+    /// Predicate-pushdown stage in milliseconds.
+    pub fn prune_ms(&self) -> f64 {
+        self.prune_seconds * 1e3
+    }
+
+    /// Coarse (fast-search) stage in milliseconds.
+    pub fn coarse_ms(&self) -> f64 {
+        self.fast_search_seconds * 1e3
+    }
+
+    /// Rerank stage in milliseconds.
+    pub fn rerank_ms(&self) -> f64 {
+        self.rerank_seconds * 1e3
     }
 }
 
@@ -59,18 +91,39 @@ pub struct QueryResult {
     pub reranked_frames: usize,
     /// Per-stage wall-clock timings.
     pub timings: QueryTimings,
-    /// Index probe statistics of the fast search.
+    /// Index probe statistics of the fast search (including
+    /// `segments_pruned` / `segments_probed` and `filtered_out` when a
+    /// predicate was pushed down).
     pub search_stats: SearchStats,
+}
+
+impl QueryResult {
+    /// One-line per-stage latency breakdown, e.g.
+    /// `encode 0.12ms | prune 0.00ms | coarse 1.40ms | rerank 3.25ms |
+    /// segments 1 pruned / 3 probed`.
+    pub fn breakdown(&self) -> String {
+        format!(
+            "encode {:.2}ms | prune {:.2}ms | coarse {:.2}ms | rerank {:.2}ms | \
+             segments {} pruned / {} probed",
+            self.timings.encode_ms(),
+            self.timings.prune_ms(),
+            self.timings.coarse_ms(),
+            self.timings.rerank_ms(),
+            self.search_stats.segments_pruned,
+            self.search_stats.segments_probed,
+        )
+    }
 }
 
 /// The LOVO system: built over an initial video collection, extended with
 /// [`Lovo::add_videos`] as new footage arrives, queried many times.
 pub struct Lovo {
-    config: LovoConfig,
-    database: VectorDatabase,
-    keyframes: KeyframeMap,
-    text_encoder: TextEncoder,
-    rerank: CrossModalityTransformer,
+    pub(crate) config: LovoConfig,
+    pub(crate) database: VectorDatabase,
+    pub(crate) keyframes: KeyframeMap,
+    pub(crate) text_encoder: TextEncoder,
+    pub(crate) rerank: CrossModalityTransformer,
+    planner: QueryPlanner,
     summarizer: VideoSummarizer,
     /// Cumulative statistics across the initial build and every append.
     ingest_stats: IngestStats,
@@ -92,6 +145,7 @@ impl Lovo {
         Ok(Self {
             text_encoder: TextEncoder::new(config.text)?,
             rerank: CrossModalityTransformer::new(config.cross_modality)?,
+            planner: QueryPlanner::new(config),
             ingested_videos,
             summarizer,
             config,
@@ -163,140 +217,47 @@ impl Lovo {
         &self.database
     }
 
+    /// The query planner this system compiles specs with (exposed so callers
+    /// can inspect a plan — [`QueryPlan::describe`] — without running it).
+    pub fn planner(&self) -> &QueryPlanner {
+        &self.planner
+    }
+
+    /// Compiles a spec into its executable plan without running it.
+    pub fn plan(&self, spec: &QuerySpec) -> QueryPlan {
+        self.planner.plan(spec)
+    }
+
     /// Answers a complex object query with the two-stage strategy of
     /// Algorithm 2, returning the top `output_frames` frames with boxes.
+    /// Thin wrapper over the plan → execute pipeline.
     pub fn query(&self, text: &str) -> Result<QueryResult> {
-        self.query_with_k(text, self.config.fast_search_k)
+        self.query_spec(&QuerySpec::new(text))
     }
 
     /// Like [`Lovo::query`] but with an explicit fast-search candidate count
-    /// (the scalability experiments sweep this).
+    /// (the scalability experiments sweep this). Thin wrapper over the same
+    /// plan path.
     pub fn query_with_k(&self, text: &str, fast_search_k: usize) -> Result<QueryResult> {
-        let mut timings = QueryTimings::default();
+        self.query_spec(&QuerySpec::new(text).with_k(fast_search_k))
+    }
 
-        // --- Stage 1a: encode the query text (§VI-A). ---
-        let text_start = Instant::now();
-        let query_embedding = self.text_encoder.encode(text)?;
-        timings.text_encoding_seconds = text_start.elapsed().as_secs_f64();
+    /// Answers a full query spec — text plus a metadata predicate restricting
+    /// *where* to search (video subsets, time windows, object classes). The
+    /// predicate is pushed down through the storage fan-out into every index
+    /// scan, so selective queries touch a fraction of the corpus.
+    pub fn query_spec(&self, spec: &QuerySpec) -> Result<QueryResult> {
+        exec::execute(self, &self.planner.plan(spec))
+    }
 
-        // --- Stage 1b: fast search over the vector database (Algorithm 1). ---
-        let search_start = Instant::now();
-        let (hits, search_stats) = self.database.search_with_stats(
-            PATCH_COLLECTION,
-            &query_embedding.embedding,
-            fast_search_k,
-        )?;
-        timings.fast_search_seconds = search_start.elapsed().as_secs_f64();
-        let fast_search_candidates = hits.len();
-
-        // Group candidate patches by their key frame, remembering the best
-        // fast-search score and box per frame.
-        let mut frame_order: Vec<(u32, u32)> = Vec::new();
-        let mut best_per_frame: std::collections::HashMap<(u32, u32), (f32, BoundingBox)> =
-            std::collections::HashMap::new();
-        for hit in &hits {
-            let (video_id, frame_index, _) = split_patch_id(hit.patch_id);
-            let key = (video_id, frame_index);
-            let bbox = BoundingBox::new(
-                hit.record.bbox.0,
-                hit.record.bbox.1,
-                hit.record.bbox.2,
-                hit.record.bbox.3,
-            );
-            match best_per_frame.get_mut(&key) {
-                Some(existing) => {
-                    if hit.score > existing.0 {
-                        *existing = (hit.score, bbox);
-                    }
-                }
-                None => {
-                    best_per_frame.insert(key, (hit.score, bbox));
-                    frame_order.push(key);
-                }
-            }
-        }
-
-        // Bound the expensive rerank stage: `frame_order` lists frames in
-        // order of their best patch's fast-search rank (the search returns
-        // patches best-first and a frame is recorded at its first patch), so
-        // truncation keeps the strongest candidate frames.
-        if self.config.enable_rerank {
-            frame_order.truncate(self.config.rerank_frames);
-        }
-
-        // --- Stage 2: cross-modality rerank over the candidate frames. ---
-        let rerank_start = Instant::now();
-        let frames = if self.config.enable_rerank {
-            let candidates: Vec<CandidateFrame<'_>> = frame_order
-                .iter()
-                .filter_map(|key| {
-                    self.keyframes.get(key).map(|frame| CandidateFrame {
-                        video_id: key.0,
-                        frame,
-                        seed_box: best_per_frame.get(key).map(|(_, b)| *b),
-                    })
-                })
-                .collect();
-            let reranked: Vec<RerankedFrame> = self
-                .rerank
-                .rerank_with_constraints(&query_embedding.parsed, &candidates)?;
-            reranked
-                .into_iter()
-                .take(self.config.output_frames)
-                .map(|r| RankedObject {
-                    video_id: r.video_id,
-                    frame_index: r.frame_index as u32,
-                    timestamp: r.timestamp,
-                    score: r.score,
-                    bbox: r.bbox,
-                })
-                .collect()
-        } else {
-            // Ablation: return the fast-search frame order directly.
-            let mut ranked: Vec<RankedObject> = frame_order
-                .iter()
-                .map(|key| {
-                    let (score, bbox) = best_per_frame[key];
-                    let timestamp = self
-                        .keyframes
-                        .get(key)
-                        .map(|f| f.timestamp)
-                        .unwrap_or_default();
-                    RankedObject {
-                        video_id: key.0,
-                        frame_index: key.1,
-                        timestamp,
-                        score,
-                        bbox,
-                    }
-                })
-                .collect();
-            ranked.sort_by(|a, b| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            ranked.truncate(self.config.output_frames);
-            ranked
-        };
-        timings.rerank_seconds = if self.config.enable_rerank {
-            rerank_start.elapsed().as_secs_f64()
-        } else {
-            0.0
-        };
-
-        Ok(QueryResult {
-            query: text.to_string(),
-            reranked_frames: if self.config.enable_rerank {
-                frame_order.len()
-            } else {
-                0
-            },
-            frames,
-            fast_search_candidates,
-            timings,
-            search_stats,
-        })
+    /// Answers a batch of query specs in one pass: all texts are encoded up
+    /// front and the coarse searches fan out over the storage segments
+    /// *together* (one collection lock acquisition and one segment walk for
+    /// the whole batch), amortizing per-query overheads under concurrent
+    /// load. Results come back in spec order.
+    pub fn query_batch(&self, specs: &[QuerySpec]) -> Result<Vec<QueryResult>> {
+        let plans: Vec<QueryPlan> = specs.iter().map(|spec| self.planner.plan(spec)).collect();
+        exec::execute_batch(self, &plans)
     }
 }
 
@@ -587,6 +548,89 @@ mod tests {
         assert_eq!(after.entities, before.entities);
         let answer = lovo.query("a bus driving on the road").unwrap();
         assert!(!answer.frames.is_empty());
+    }
+
+    #[test]
+    fn filtered_query_restricts_results_to_the_predicate() {
+        use lovo_video::QueryPredicate;
+        let videos = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_num_videos(3)
+                .with_frames_per_video(150)
+                .with_seed(11),
+        );
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let spec = QuerySpec::new("a red car driving in the center of the road")
+            .with_predicate(QueryPredicate::videos([1]));
+        let result = lovo.query_spec(&spec).unwrap();
+        assert!(!result.frames.is_empty());
+        assert!(result.frames.iter().all(|f| f.video_id == 1));
+        // The pushdown masked candidates from other videos inside the scans
+        // (or pruned their segments outright).
+        assert!(result.search_stats.filtered_out > 0 || result.search_stats.segments_pruned > 0);
+    }
+
+    #[test]
+    fn provably_empty_predicate_searches_nothing() {
+        use lovo_video::QueryPredicate;
+        let videos = bellevue(120);
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let spec = QuerySpec::new("a bus")
+            .with_predicate(QueryPredicate::videos([0]).and(QueryPredicate::videos([1])));
+        let plan = lovo.plan(&spec);
+        assert!(plan.provably_empty);
+        let result = lovo.query_spec(&spec).unwrap();
+        assert!(result.frames.is_empty());
+        assert_eq!(result.fast_search_candidates, 0);
+        assert_eq!(result.search_stats.segments_probed, 0);
+    }
+
+    #[test]
+    fn query_batch_matches_single_queries() {
+        let videos = bellevue(240);
+        // Brute-force segments make the fan-out exact, so batch and single
+        // paths must rank identically.
+        let lovo = Lovo::build(&videos, LovoConfig::ablation_without_anns()).unwrap();
+        let specs = [
+            QuerySpec::new("a red car driving in the center of the road"),
+            QuerySpec::new("a bus driving on the road"),
+            QuerySpec::new("a person walking on the sidewalk").with_k(50),
+        ];
+        let batch = lovo.query_batch(&specs).unwrap();
+        assert_eq!(batch.len(), specs.len());
+        for (spec, batched) in specs.iter().zip(&batch) {
+            let single = lovo.query_spec(spec).unwrap();
+            let frames = |r: &QueryResult| -> Vec<(u32, u32)> {
+                r.frames
+                    .iter()
+                    .map(|f| (f.video_id, f.frame_index))
+                    .collect()
+            };
+            assert_eq!(frames(batched), frames(&single), "spec: {}", spec.text);
+            assert_eq!(
+                batched.fast_search_candidates, single.fast_search_candidates,
+                "spec: {}",
+                spec.text
+            );
+        }
+        assert!(lovo.query_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_describes_its_stages() {
+        let videos = bellevue(90);
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let unfiltered = lovo.plan(&QuerySpec::new("a car"));
+        assert_eq!(
+            unfiltered.describe(),
+            "encode -> coarse(k=400) -> rerank(64) -> aggregate(20)"
+        );
+        let filtered = lovo.plan(
+            &QuerySpec::new("a car")
+                .with_predicate(lovo_video::QueryPredicate::time_range(0.0, 2.0)),
+        );
+        assert!(filtered.describe().contains("prune"));
+        assert!(filtered.is_filtered());
     }
 
     #[test]

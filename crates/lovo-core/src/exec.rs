@@ -1,0 +1,244 @@
+//! The plan executor: runs [`QueryPlan`]s produced by the
+//! [`crate::planner::QueryPlanner`] against a built [`Lovo`] system.
+//!
+//! One implementation serves every entry point — `Lovo::query`,
+//! `Lovo::query_with_k`, `Lovo::query_spec` and `Lovo::query_batch` are all
+//! thin wrappers over [`execute_batch`]. The stages mirror
+//! [`crate::planner::PlanStage`]:
+//!
+//! 1. **encode** — every text in the batch is encoded up front;
+//! 2. **prune** — each plan's compiled predicate is resolved into a
+//!    pushed-down filter (video-only predicates compile to an id bit test;
+//!    time/class predicates join the metadata table once); provably-empty
+//!    plans short-circuit to an empty result here;
+//! 3. **coarse** — all remaining queries fan out over the storage segments
+//!    *together* in one batched pass (one collection lock acquisition, one
+//!    segment walk shared by the batch), each with its own filter;
+//! 4. **rerank** — the cross-modality transformer re-scores each query's
+//!    candidate frames;
+//! 5. **aggregate** — frames are grouped, truncated and assembled into
+//!    [`QueryResult`]s with per-stage timings.
+
+use crate::engine::{Lovo, QueryResult, QueryTimings, RankedObject};
+use crate::planner::QueryPlan;
+use crate::summary::{split_patch_id, PATCH_COLLECTION};
+use crate::Result;
+use lovo_encoder::cross_modality::CandidateFrame;
+use lovo_encoder::{QueryEmbedding, RerankedFrame};
+use lovo_index::SearchStats;
+use lovo_store::{BatchQuery, JoinedHit, PushdownFilter};
+use lovo_video::bbox::BoundingBox;
+use std::time::Instant;
+
+/// Executes a single plan.
+pub(crate) fn execute(lovo: &Lovo, plan: &QueryPlan) -> Result<QueryResult> {
+    let mut results = execute_batch(lovo, std::slice::from_ref(plan))?;
+    Ok(results.pop().expect("one result per plan"))
+}
+
+/// Executes a batch of plans, sharing the encode pass and the segment
+/// fan-out across the whole batch. Results come back in plan order.
+pub(crate) fn execute_batch(lovo: &Lovo, plans: &[QueryPlan]) -> Result<Vec<QueryResult>> {
+    // --- Stage 1: encode every query text up front (§VI-A). ---
+    let mut timings = vec![QueryTimings::default(); plans.len()];
+    let mut embeddings: Vec<QueryEmbedding> = Vec::with_capacity(plans.len());
+    for (plan, timing) in plans.iter().zip(&mut timings) {
+        let start = Instant::now();
+        embeddings.push(lovo.text_encoder.encode(&plan.text)?);
+        timing.text_encoding_seconds = start.elapsed().as_secs_f64();
+    }
+
+    // --- Stage 2: prune — resolve each compiled predicate into a pushed-down
+    // filter. Provably-empty plans stop here. Plans sharing one predicate
+    // (the common shape of a batch: many texts, one scope) share one
+    // resolution — the metadata join runs once per *distinct* predicate, not
+    // once per query.
+    let mut resolved: Vec<PushdownFilter> = Vec::new();
+    let mut resolved_for: Vec<usize> = Vec::new(); // plan that first resolved it
+    let mut plan_filter: Vec<Option<usize>> = Vec::with_capacity(plans.len());
+    for (position, (plan, timing)) in plans.iter().zip(&mut timings).enumerate() {
+        let start = Instant::now();
+        let mut slot = None;
+        if !plan.provably_empty && !plan.patch_predicate.is_unconstrained() {
+            slot = resolved_for
+                .iter()
+                .position(|&first| plans[first].patch_predicate == plan.patch_predicate);
+            if slot.is_none() {
+                if let Some(filter) = lovo.database.resolve_filter(&plan.patch_predicate) {
+                    resolved.push(filter);
+                    resolved_for.push(position);
+                    slot = Some(resolved.len() - 1);
+                }
+            }
+        }
+        if plan.is_filtered() {
+            timing.prune_seconds = start.elapsed().as_secs_f64();
+        }
+        plan_filter.push(slot);
+    }
+
+    // --- Stage 3: coarse filtered search, batched (Algorithm 1). ---
+    // All searchable plans fan out over the segments together; the batch's
+    // wall-clock is attributed evenly since the pass is shared.
+    let searchable: Vec<usize> = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, plan)| !plan.provably_empty)
+        .map(|(position, _)| position)
+        .collect();
+    let mut coarse: Vec<Option<(Vec<JoinedHit>, SearchStats)>> =
+        plans.iter().map(|_| None).collect();
+    if !searchable.is_empty() {
+        let requests: Vec<BatchQuery<'_>> = searchable
+            .iter()
+            .map(|&position| BatchQuery {
+                query: embeddings[position].embedding.as_slice(),
+                k: plans[position].fast_search_k,
+                filter: plan_filter[position].map(|slot| &resolved[slot]),
+            })
+            .collect();
+        let search_start = Instant::now();
+        let batch_results = lovo
+            .database
+            .search_batch_with_stats(PATCH_COLLECTION, &requests)?;
+        let shared_seconds = search_start.elapsed().as_secs_f64() / searchable.len() as f64;
+        for (&position, result) in searchable.iter().zip(batch_results) {
+            timings[position].fast_search_seconds = shared_seconds;
+            coarse[position] = Some(result);
+        }
+    }
+
+    // --- Stages 4 + 5: rerank and aggregate, per query. ---
+    plans
+        .iter()
+        .zip(embeddings)
+        .zip(coarse)
+        .zip(timings)
+        .map(|(((plan, embedding), searched), mut timing)| {
+            let (hits, stats) = searched.unwrap_or_default();
+            finish(lovo, plan, &embedding, hits, stats, &mut timing)
+        })
+        .collect()
+}
+
+/// Stages 4 (rerank) and 5 (aggregate) for one query: group candidate
+/// patches by key frame, rerank the strongest frames, and assemble the
+/// result.
+fn finish(
+    lovo: &Lovo,
+    plan: &QueryPlan,
+    embedding: &QueryEmbedding,
+    hits: Vec<JoinedHit>,
+    search_stats: SearchStats,
+    timing: &mut QueryTimings,
+) -> Result<QueryResult> {
+    let fast_search_candidates = hits.len();
+
+    // Group candidate patches by their key frame, remembering the best
+    // fast-search score and box per frame.
+    let mut frame_order: Vec<(u32, u32)> = Vec::new();
+    let mut best_per_frame: std::collections::HashMap<(u32, u32), (f32, BoundingBox)> =
+        std::collections::HashMap::new();
+    for hit in &hits {
+        let (video_id, frame_index, _) = split_patch_id(hit.patch_id);
+        let key = (video_id, frame_index);
+        let bbox = BoundingBox::new(
+            hit.record.bbox.0,
+            hit.record.bbox.1,
+            hit.record.bbox.2,
+            hit.record.bbox.3,
+        );
+        match best_per_frame.get_mut(&key) {
+            Some(existing) => {
+                if hit.score > existing.0 {
+                    *existing = (hit.score, bbox);
+                }
+            }
+            None => {
+                best_per_frame.insert(key, (hit.score, bbox));
+                frame_order.push(key);
+            }
+        }
+    }
+
+    // Bound the expensive rerank stage: `frame_order` lists frames in order
+    // of their best patch's fast-search rank (the search returns patches
+    // best-first and a frame is recorded at its first patch), so truncation
+    // keeps the strongest candidate frames.
+    if plan.enable_rerank {
+        frame_order.truncate(plan.rerank_frames);
+    }
+
+    let rerank_start = Instant::now();
+    let frames = if plan.enable_rerank {
+        let candidates: Vec<CandidateFrame<'_>> = frame_order
+            .iter()
+            .filter_map(|key| {
+                lovo.keyframes.get(key).map(|frame| CandidateFrame {
+                    video_id: key.0,
+                    frame,
+                    seed_box: best_per_frame.get(key).map(|(_, b)| *b),
+                })
+            })
+            .collect();
+        let reranked: Vec<RerankedFrame> = lovo
+            .rerank
+            .rerank_with_constraints(&embedding.parsed, &candidates)?;
+        reranked
+            .into_iter()
+            .take(plan.output_frames)
+            .map(|r| RankedObject {
+                video_id: r.video_id,
+                frame_index: r.frame_index as u32,
+                timestamp: r.timestamp,
+                score: r.score,
+                bbox: r.bbox,
+            })
+            .collect()
+    } else {
+        // Ablation: return the fast-search frame order directly.
+        let mut ranked: Vec<RankedObject> = frame_order
+            .iter()
+            .map(|key| {
+                let (score, bbox) = best_per_frame[key];
+                let timestamp = lovo
+                    .keyframes
+                    .get(key)
+                    .map(|f| f.timestamp)
+                    .unwrap_or_default();
+                RankedObject {
+                    video_id: key.0,
+                    frame_index: key.1,
+                    timestamp,
+                    score,
+                    bbox,
+                }
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ranked.truncate(plan.output_frames);
+        ranked
+    };
+    timing.rerank_seconds = if plan.enable_rerank {
+        rerank_start.elapsed().as_secs_f64()
+    } else {
+        0.0
+    };
+
+    Ok(QueryResult {
+        query: plan.text.clone(),
+        reranked_frames: if plan.enable_rerank {
+            frame_order.len()
+        } else {
+            0
+        },
+        frames,
+        fast_search_candidates,
+        timings: *timing,
+        search_stats,
+    })
+}

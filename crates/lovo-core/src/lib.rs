@@ -13,10 +13,13 @@
 //!    (`lovo-store`) under product quantization + inverted multi-index
 //!    (`lovo-index`), with bounding boxes / frame ids in the relational
 //!    metadata table, joined by patch id.
-//! 3. **Query Strategy** ([`engine`]) — the two-stage query of Algorithm 2:
-//!    a text-encoder fast search over the index retrieves top-k candidate
-//!    patches, and the cross-modality transformer reranks the candidate
-//!    frames, returning the top-n frames with grounded bounding boxes.
+//! 3. **Query Strategy** ([`engine`], [`planner`], [`exec`]) — every query
+//!    goes through one plan → execute pipeline: the [`planner::QueryPlanner`]
+//!    compiles `(text, predicate, k)` into a staged plan (encode → prune →
+//!    coarse filtered search → rerank → aggregate) and the executor runs it,
+//!    pushing metadata predicates (video subsets, time windows, object
+//!    classes) down through the storage fan-out into every index scan.
+//!    [`Lovo::query_batch`] executes many specs in one shared fan-out pass.
 //!
 //! The entry point is [`Lovo`]: build it once over a video collection, then
 //! issue as many queries as you like.
@@ -35,10 +38,13 @@
 
 pub mod config;
 pub mod engine;
+pub mod exec;
+pub mod planner;
 pub mod summary;
 
 pub use config::LovoConfig;
 pub use engine::{Lovo, QueryResult, QueryTimings, RankedObject};
+pub use planner::{PlanStage, QueryPlan, QueryPlanner, QuerySpec};
 pub use summary::{IngestStats, VideoSummarizer};
 
 /// Errors surfaced by the LOVO system.

@@ -28,13 +28,11 @@ use std::time::Instant;
 /// Name of the vector collection LOVO stores patch embeddings in.
 pub const PATCH_COLLECTION: &str = "lovo_patches";
 
-/// Largest video id that fits the patch-id packing (20 bits, see
-/// [`patch_id`]). Ingesting a video with a larger id is rejected: the id
-/// would wrap and silently collide with another video's patches.
-pub const MAX_VIDEO_ID: u32 = (1 << 20) - 1;
-
-/// Largest per-frame patch index that fits the patch-id packing (12 bits).
-pub const MAX_PATCH_INDEX: u32 = (1 << 12) - 1;
+// The packed patch id is owned by the storage crate since the planner
+// refactor — the store itself exploits the packing for video-predicate bit
+// tests and zone-map pruning. Re-exported here because the engine assigns
+// the ids and long-standing callers import them from this module.
+pub use lovo_store::patchid::{patch_id, split_patch_id, MAX_PATCH_INDEX, MAX_VIDEO_ID};
 
 /// Statistics of one ingestion run. [`IngestStats::accumulate`] folds the
 /// per-run statistics of incremental appends into a lifetime total.
@@ -221,6 +219,7 @@ impl VideoSummarizer {
                         patch.predicted_box.h,
                     ),
                     timestamp: frame.timestamp,
+                    class_code: patch.dominant_class.map(|class| class.code() as u8),
                 };
                 frame_batch.push((patch.class_embedding.as_slice(), record));
             }
@@ -280,27 +279,6 @@ impl VideoSummarizer {
         }
         Ok(encodings)
     }
-}
-
-/// Globally unique patch id: video (bits 44..63), frame (bits 12..43), patch
-/// position (bits 0..11). Video ids above [`MAX_VIDEO_ID`] and patch indexes
-/// above [`MAX_PATCH_INDEX`] do not fit and are rejected at ingest.
-pub fn patch_id(video_id: u32, frame_index: u32, patch_index: u32) -> u64 {
-    debug_assert!(video_id <= MAX_VIDEO_ID, "video id overflows patch id");
-    debug_assert!(
-        patch_index <= MAX_PATCH_INDEX,
-        "patch index overflows patch id"
-    );
-    (u64::from(video_id) << 44) | (u64::from(frame_index) << 12) | u64::from(patch_index & 0xfff)
-}
-
-/// Inverse of [`patch_id`].
-pub fn split_patch_id(id: u64) -> (u32, u32, u32) {
-    (
-        (id >> 44) as u32,
-        ((id >> 12) & 0xffff_ffff) as u32,
-        (id & 0xfff) as u32,
-    )
 }
 
 #[cfg(test)]

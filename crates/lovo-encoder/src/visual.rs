@@ -25,6 +25,7 @@ use lovo_tensor::init::rng_for;
 use lovo_tensor::ops::l2_normalize;
 use lovo_tensor::{LayerNorm, Linear, Matrix, Mlp, MultiHeadAttention};
 use lovo_video::bbox::BoundingBox;
+use lovo_video::object::ObjectClass;
 use lovo_video::scene::Frame;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -111,6 +112,10 @@ pub struct PatchEncoding {
     /// How object-like the patch is (fraction of the patch covered by its
     /// dominant object); background patches score 0.
     pub objectness: f32,
+    /// Detector label of the patch's dominant object (`None` for background
+    /// patches). Stored in the metadata table so class predicates can be
+    /// pushed down into the index scans.
+    pub dominant_class: Option<ObjectClass>,
 }
 
 /// All patch encodings of one key frame.
@@ -238,7 +243,8 @@ impl VisualEncoder {
         // 1. Build the raw patch tokens from what each patch "sees".
         let mut raw_class_space: Vec<Vec<f32>> = Vec::with_capacity(patch_count);
         let mut regions: Vec<BoundingBox> = Vec::with_capacity(patch_count);
-        let mut dominant: Vec<Option<(BoundingBox, f32)>> = Vec::with_capacity(patch_count);
+        let mut dominant: Vec<Option<(BoundingBox, f32, ObjectClass)>> =
+            Vec::with_capacity(patch_count);
         let mut rng = rng_for(self.config.seed, &format!("vis.frame.{}", frame.index));
         for row in 0..rows {
             for col in 0..cols {
@@ -258,7 +264,8 @@ impl VisualEncoder {
                 }
                 l2_normalize(&mut base);
                 raw_class_space.push(base);
-                dominant.push(hit.map(|(obj, coverage)| (obj.bbox, coverage)));
+                dominant
+                    .push(hit.map(|(obj, coverage)| (obj.bbox, coverage, obj.attributes.class)));
                 regions.push(region);
             }
         }
@@ -300,7 +307,7 @@ impl VisualEncoder {
 
             let region = regions[idx];
             let (predicted_box, objectness) = match dominant[idx] {
-                Some((object_box, coverage)) => {
+                Some((object_box, coverage, _)) => {
                     // Simulated trained box head: anchor refined toward the
                     // covering object's box, with a small real-MLP perturbation
                     // and observation noise.
@@ -329,6 +336,7 @@ impl VisualEncoder {
                 class_embedding,
                 predicted_box,
                 objectness,
+                dominant_class: dominant[idx].map(|(_, _, class)| class),
             });
         }
 

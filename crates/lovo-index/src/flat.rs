@@ -1,7 +1,7 @@
 //! Exhaustive (brute-force) index: the accuracy upper bound in Table V.
 
 use crate::metric::Metric;
-use crate::{IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
+use crate::{IdFilter, IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
 
 /// Rows scored per batch-kernel pass: 256 rows of ≤128-dim f32 keep the
 /// score buffer and the active slice of the arena inside L1/L2 while the
@@ -117,6 +117,69 @@ impl VectorIndex for FlatIndex {
         Ok((top.into_sorted_results(), stats))
     }
 
+    /// Filtered scan: the filter masks rows *before* they are scored, so at
+    /// low selectivity the scan skips most of its dot products instead of
+    /// discarding them afterwards. Blocks whose rows all pass keep the batch
+    /// kernel ([`Metric::score_batch`] delegates to the same per-row kernel,
+    /// so scores are bit-identical between the two paths).
+    fn search_filtered_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &IdFilter,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        if query.len() != self.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        let mut top = TopK::new(k);
+        let mut scores: Vec<f32> = Vec::with_capacity(SCAN_BLOCK_ROWS.min(self.ids.len()));
+        let mut mask: Vec<bool> = Vec::with_capacity(SCAN_BLOCK_ROWS);
+        let mut scored = 0usize;
+        let mut filtered_out = 0usize;
+        if !self.data.is_empty() {
+            let mut base_row = 0usize;
+            for block in self.data.chunks(SCAN_BLOCK_ROWS * self.dim) {
+                let rows = block.len() / self.dim;
+                mask.clear();
+                mask.extend((0..rows).map(|offset| filter.accepts(self.ids[base_row + offset])));
+                let pass = mask.iter().filter(|&&keep| keep).count();
+                filtered_out += rows - pass;
+                scored += pass;
+                if pass == rows {
+                    // Fully-passing block: stream it through the batch kernel.
+                    scores.clear();
+                    self.metric.score_batch(query, block, self.dim, &mut scores);
+                    for (offset, &score) in scores.iter().enumerate() {
+                        top.push_hit(self.ids[base_row + offset], score);
+                    }
+                } else if pass > 0 {
+                    for (offset, &keep) in mask.iter().enumerate() {
+                        if keep {
+                            let row = &block[offset * self.dim..(offset + 1) * self.dim];
+                            top.push_hit(
+                                self.ids[base_row + offset],
+                                self.metric.score(query, row),
+                            );
+                        }
+                    }
+                }
+                base_row += rows;
+            }
+        }
+        let stats = SearchStats {
+            vectors_scored: scored,
+            cells_probed: 1,
+            exact_rescored: top.len(),
+            heap_pushes: top.pushes(),
+            filtered_out,
+            ..SearchStats::default()
+        };
+        Ok((top.into_sorted_results(), stats))
+    }
+
     fn family(&self) -> &'static str {
         "BF"
     }
@@ -203,6 +266,30 @@ mod tests {
         let hits = idx.search(&[0.5, 0.5], 2).unwrap();
         assert_eq!(hits[0].id, 1);
         assert_eq!(idx.family(), "BF");
+    }
+
+    #[test]
+    fn filtered_scan_masks_rows_and_counts_them() {
+        let mut idx = FlatIndex::new(2);
+        for i in 0..40u64 {
+            idx.insert(i, &unit(&[i as f32 + 1.0, 1.0])).unwrap();
+        }
+        let filter = IdFilter::from_predicate(|id| id % 4 == 0);
+        let (hits, stats) = idx
+            .search_filtered_with_stats(&unit(&[50.0, 1.0]), 5, &filter)
+            .unwrap();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.id % 4 == 0));
+        assert_eq!(stats.vectors_scored, 10);
+        assert_eq!(stats.filtered_out, 30);
+
+        // An all-pass filter is score-identical to the unfiltered scan.
+        let all = IdFilter::from_predicate(|_| true);
+        let q = unit(&[3.0, 2.0]);
+        let (filtered, fstats) = idx.search_filtered_with_stats(&q, 7, &all).unwrap();
+        let (plain, _) = idx.search_with_stats(&q, 7).unwrap();
+        assert_eq!(filtered, plain);
+        assert_eq!(fstats.filtered_out, 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! of unit vectors (higher is better), consistent with the rest of the crate.
 
 use crate::metric::dot;
-use crate::{IndexError, Result, SearchResult, SearchStats, VectorId, VectorIndex};
+use crate::{IdFilter, IndexError, Result, SearchResult, SearchStats, VectorId, VectorIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -133,6 +133,8 @@ struct SearchScratch {
     results: BinaryHeap<MinScored>,
     /// Best-first output of the last [`HnswIndex::search_layer`] call.
     out: Vec<Scored>,
+    /// Work counters accumulated across the layer visits of one search.
+    stats: SearchStats,
 }
 
 /// The HNSW index.
@@ -178,7 +180,17 @@ impl HnswIndex {
 
     /// Greedy best-first search on one layer, leaving up to `ef` best nodes
     /// (best first) in `scratch.out`. All working state lives in `scratch` so
-    /// repeated layer visits of one search reuse the same allocations.
+    /// repeated layer visits of one search reuse the same allocations; work
+    /// counters accumulate into `scratch.stats`.
+    ///
+    /// With a filter the beam is *unfiltered-visit / filtered-accept*: every
+    /// scored node may still guide the traversal through the candidate heap
+    /// (rejecting them there would disconnect the graph under selective
+    /// predicates), but only nodes whose external id passes the filter enter
+    /// the `results` beam — so the output is filtered, while connectivity is
+    /// not. Recall under a filter is therefore bounded by the beam width, not
+    /// exact; highly selective predicates should be answered by the pruned
+    /// flat/IVF paths instead.
     fn search_layer(
         &self,
         query: &[f32],
@@ -186,13 +198,14 @@ impl HnswIndex {
         ef: usize,
         layer: usize,
         scratch: &mut SearchScratch,
-        stats: &mut SearchStats,
+        filter: Option<&IdFilter>,
     ) {
         let SearchScratch {
             visited,
             candidates,
             results,
             out,
+            stats,
         } = scratch;
         visited.clear();
         candidates.clear();
@@ -204,7 +217,11 @@ impl HnswIndex {
         };
         stats.vectors_scored += 1;
         candidates.push(entry_scored);
-        results.push(MinScored(entry_scored));
+        if filter.map_or(true, |f| f.accepts(self.nodes[entry as usize].id)) {
+            results.push(MinScored(entry_scored));
+        } else {
+            stats.filtered_out += 1;
+        }
 
         while let Some(current) = candidates.pop() {
             let worst = results
@@ -232,9 +249,13 @@ impl HnswIndex {
                         .unwrap_or(f32::NEG_INFINITY);
                     if results.len() < ef || s.score > worst {
                         candidates.push(s);
-                        results.push(MinScored(s));
-                        if results.len() > ef {
-                            results.pop();
+                        if filter.map_or(true, |f| f.accepts(self.nodes[next as usize].id)) {
+                            results.push(MinScored(s));
+                            if results.len() > ef {
+                                results.pop();
+                            }
+                        } else {
+                            stats.filtered_out += 1;
                         }
                     }
                 }
@@ -317,12 +338,11 @@ impl VectorIndex for HnswIndex {
             return Ok(());
         };
 
-        let mut stats = SearchStats::default();
         let mut scratch = SearchScratch::default();
         // Descend through the layers above the new node's level greedily.
         for layer in (level + 1..=self.max_level).rev() {
             loop {
-                self.search_layer(vector, current, 1, layer, &mut scratch, &mut stats);
+                self.search_layer(vector, current, 1, layer, &mut scratch, None);
                 let best = scratch.out[0];
                 if best.node == current {
                     break;
@@ -345,7 +365,7 @@ impl VectorIndex for HnswIndex {
                 self.config.ef_construction,
                 layer,
                 &mut scratch,
-                &mut stats,
+                None,
             );
             current = scratch.out.first().map(|s| s.node).unwrap_or(current);
             selected.clear();
@@ -371,38 +391,16 @@ impl VectorIndex for HnswIndex {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<SearchResult>, SearchStats)> {
-        if query.len() != self.config.dim {
-            return Err(IndexError::DimensionMismatch {
-                expected: self.config.dim,
-                actual: query.len(),
-            });
-        }
-        let mut stats = SearchStats::default();
-        let Some(entry) = self.entry_point else {
-            return Ok((Vec::new(), stats));
-        };
-        if k == 0 {
-            return Ok((Vec::new(), stats));
-        }
-        let mut scratch = SearchScratch::default();
-        let mut current = entry;
-        for layer in (1..=self.max_level).rev() {
-            self.search_layer(query, current, 1, layer, &mut scratch, &mut stats);
-            current = scratch.out[0].node;
-        }
-        let ef = self.config.ef_search.max(k);
-        self.search_layer(query, current, ef, 0, &mut scratch, &mut stats);
-        let results: Vec<SearchResult> = scratch
-            .out
-            .iter()
-            .take(k)
-            .map(|s| SearchResult {
-                id: self.nodes[s.node as usize].id,
-                score: s.score,
-            })
-            .collect();
-        stats.exact_rescored = results.len();
-        Ok((results, stats))
+        self.search_impl(query, k, None)
+    }
+
+    fn search_filtered_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &IdFilter,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        self.search_impl(query, k, Some(filter))
     }
 
     fn family(&self) -> &'static str {
@@ -421,6 +419,51 @@ impl VectorIndex for HnswIndex {
                     + std::mem::size_of::<VectorId>()
             })
             .sum()
+    }
+}
+
+impl HnswIndex {
+    /// Query descent shared by the filtered and unfiltered paths. The upper
+    /// layers are pure navigation and always run unfiltered; the filter (if
+    /// any) applies only to the layer-0 beam that produces the candidate set.
+    fn search_impl(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: Option<&IdFilter>,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        if query.len() != self.config.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: query.len(),
+            });
+        }
+        let Some(entry) = self.entry_point else {
+            return Ok((Vec::new(), SearchStats::default()));
+        };
+        if k == 0 {
+            return Ok((Vec::new(), SearchStats::default()));
+        }
+        let mut scratch = SearchScratch::default();
+        let mut current = entry;
+        for layer in (1..=self.max_level).rev() {
+            self.search_layer(query, current, 1, layer, &mut scratch, None);
+            current = scratch.out[0].node;
+        }
+        let ef = self.config.ef_search.max(k);
+        self.search_layer(query, current, ef, 0, &mut scratch, filter);
+        let results: Vec<SearchResult> = scratch
+            .out
+            .iter()
+            .take(k)
+            .map(|s| SearchResult {
+                id: self.nodes[s.node as usize].id,
+                score: s.score,
+            })
+            .collect();
+        let mut stats = scratch.stats;
+        stats.exact_rescored = results.len();
+        Ok((results, stats))
     }
 }
 
@@ -535,6 +578,42 @@ mod tests {
         assert!(idx.insert(0, &[0.0; 8]).is_err());
         idx.insert(0, &[0.1; 16]).unwrap();
         assert!(idx.search(&[0.0; 8], 1).is_err());
+    }
+
+    #[test]
+    fn filtered_beam_accepts_only_matching_nodes() {
+        let (hnsw, flat, vectors) = build(2_000, 32, 13);
+        let filter = IdFilter::from_predicate(|id| id % 2 == 0);
+        let (hits, stats) = hnsw
+            .search_filtered_with_stats(&vectors[100], 10, &filter)
+            .unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.id % 2 == 0));
+        assert!(stats.filtered_out > 0);
+        for pair in hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        // Recall against the exact filtered reference stays reasonable at
+        // 50% selectivity.
+        let exact: Vec<u64> = flat
+            .search_filtered(&vectors[100], 10, &filter)
+            .unwrap()
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        let overlap = exact
+            .iter()
+            .filter(|id| hits.iter().any(|h| h.id == **id))
+            .count();
+        assert!(overlap >= 6, "filtered recall too low: {overlap}/10");
+
+        // An all-pass filter must reproduce the unfiltered search exactly.
+        let all = IdFilter::from_predicate(|_| true);
+        let (filtered, _) = hnsw
+            .search_filtered_with_stats(&vectors[3], 7, &all)
+            .unwrap();
+        let (plain, _) = hnsw.search_with_stats(&vectors[3], 7).unwrap();
+        assert_eq!(filtered, plain);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::kmeans::{lloyd, nearest_centroid, KMeansConfig};
 use crate::metric::dot;
 use crate::pq::{PqConfig, ProductQuantizer};
-use crate::{IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
+use crate::{IdFilter, IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -356,6 +356,58 @@ impl VectorIndex for IvfPqIndex {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        self.search_impl(query, k, None)
+    }
+
+    fn search_filtered_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &IdFilter,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        self.search_impl(query, k, Some(filter))
+    }
+
+    fn family(&self) -> &'static str {
+        "IVF-PQ"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let Some(built) = &self.built else {
+            return self.pending.len() * self.config.dim * std::mem::size_of::<f32>();
+        };
+        let code_bytes: usize = built
+            .cells
+            .values()
+            .map(|c| {
+                c.codes.len()
+                    + c.ids.len() * std::mem::size_of::<VectorId>()
+                    + c.rows.len() * std::mem::size_of::<u32>()
+            })
+            .sum();
+        let centroid_bytes = self.config.coarse_subspaces
+            * self.config.coarse_centroids
+            * self.config.coarse_subspace_dim()
+            * std::mem::size_of::<f32>();
+        // The originals kept for exact re-scoring live in the storage layer in
+        // a real deployment; they are counted separately so experiments can
+        // report the compressed index size the way the paper does.
+        code_bytes + centroid_bytes
+    }
+}
+
+impl IvfPqIndex {
+    /// Algorithm 1 with optional predicate pushdown: when a filter is
+    /// present, non-matching entries are dropped *before* ADC scoring — the
+    /// matching subset of each probed cell is compacted into one contiguous
+    /// code run so the list kernel still streams sequentially — and only
+    /// matching candidates are ever exactly re-scored.
+    fn search_impl(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: Option<&IdFilter>,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
         if query.len() != self.config.dim {
             return Err(IndexError::DimensionMismatch {
                 expected: self.config.dim,
@@ -403,16 +455,53 @@ impl VectorIndex for IvfPqIndex {
         let keep = k.saturating_mul(self.config.refine_factor).max(k);
         let mut approx: TopK<u32> = TopK::new(keep);
         let mut list_scores: Vec<f32> = Vec::new();
+        // Scratch for the filtered path: the matching subset of a cell,
+        // compacted so one ADC pass still streams a contiguous code run.
+        let mut kept_ids: Vec<VectorId> = Vec::new();
+        let mut kept_rows: Vec<u32> = Vec::new();
+        let mut kept_codes: Vec<u8> = Vec::new();
         enumerate_cells(&top_per_subspace, &mut |codes, coarse_score| {
             let Some(cell) = built.cells.get(&Self::pack_cell_key(codes)) else {
                 return;
             };
             stats.cells_probed += 1;
-            stats.vectors_scored += cell.len();
-            list_scores.clear();
-            adc.score_list(&cell.codes, stride, &mut list_scores);
-            for ((&id, &row), &adc_score) in cell.ids.iter().zip(&cell.rows).zip(&list_scores) {
-                approx.push(id, coarse_score + adc_score, row);
+            match filter {
+                None => {
+                    stats.vectors_scored += cell.len();
+                    list_scores.clear();
+                    adc.score_list(&cell.codes, stride, &mut list_scores);
+                    for ((&id, &row), &adc_score) in
+                        cell.ids.iter().zip(&cell.rows).zip(&list_scores)
+                    {
+                        approx.push(id, coarse_score + adc_score, row);
+                    }
+                }
+                Some(filter) => {
+                    kept_ids.clear();
+                    kept_rows.clear();
+                    kept_codes.clear();
+                    for (entry, (&id, &row)) in cell.ids.iter().zip(&cell.rows).enumerate() {
+                        if filter.accepts(id) {
+                            kept_ids.push(id);
+                            kept_rows.push(row);
+                            kept_codes.extend_from_slice(
+                                &cell.codes[entry * stride..(entry + 1) * stride],
+                            );
+                        }
+                    }
+                    stats.filtered_out += cell.len() - kept_ids.len();
+                    stats.vectors_scored += kept_ids.len();
+                    if kept_ids.is_empty() {
+                        return;
+                    }
+                    list_scores.clear();
+                    adc.score_list(&kept_codes, stride, &mut list_scores);
+                    for ((&id, &row), &adc_score) in
+                        kept_ids.iter().zip(&kept_rows).zip(&list_scores)
+                    {
+                        approx.push(id, coarse_score + adc_score, row);
+                    }
+                }
             }
         });
         stats.heap_pushes += approx.pushes();
@@ -430,33 +519,6 @@ impl VectorIndex for IvfPqIndex {
         }
         stats.heap_pushes += top.pushes();
         Ok((top.into_sorted_results(), stats))
-    }
-
-    fn family(&self) -> &'static str {
-        "IVF-PQ"
-    }
-
-    fn memory_bytes(&self) -> usize {
-        let Some(built) = &self.built else {
-            return self.pending.len() * self.config.dim * std::mem::size_of::<f32>();
-        };
-        let code_bytes: usize = built
-            .cells
-            .values()
-            .map(|c| {
-                c.codes.len()
-                    + c.ids.len() * std::mem::size_of::<VectorId>()
-                    + c.rows.len() * std::mem::size_of::<u32>()
-            })
-            .sum();
-        let centroid_bytes = self.config.coarse_subspaces
-            * self.config.coarse_centroids
-            * self.config.coarse_subspace_dim()
-            * std::mem::size_of::<f32>();
-        // The originals kept for exact re-scoring live in the storage layer in
-        // a real deployment; they are counted separately so experiments can
-        // report the compressed index size the way the paper does.
-        code_bytes + centroid_bytes
     }
 }
 
@@ -705,5 +767,35 @@ mod tests {
     fn zero_k_returns_empty() {
         let (ivf, _, vectors) = build_index(500, 32, 19);
         assert!(ivf.search(&vectors[0], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filtered_search_skips_codes_and_matches_all_pass() {
+        let (ivf, _, vectors) = build_index(2_000, 32, 55);
+        let filter = IdFilter::from_predicate(|id| id < 500);
+        let (hits, stats) = ivf
+            .search_filtered_with_stats(&vectors[123], 10, &filter)
+            .unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.id < 500));
+        assert_eq!(hits[0].id, 123);
+        assert!(stats.filtered_out > 0, "{stats:?}");
+        // Only matching candidates are scored and rescored.
+        let (_, unfiltered_stats) = ivf.search_with_stats(&vectors[123], 10).unwrap();
+        assert_eq!(
+            stats.vectors_scored + stats.filtered_out,
+            unfiltered_stats.vectors_scored
+        );
+        assert!(stats.exact_rescored <= unfiltered_stats.exact_rescored);
+
+        // An all-pass filter goes through the compaction path yet must stay
+        // bit-identical to the unfiltered search.
+        let all = IdFilter::from_predicate(|_| true);
+        let (filtered, fstats) = ivf
+            .search_filtered_with_stats(&vectors[7], 10, &all)
+            .unwrap();
+        let (plain, _) = ivf.search_with_stats(&vectors[7], 10).unwrap();
+        assert_eq!(filtered, plain);
+        assert_eq!(fstats.filtered_out, 0);
     }
 }

@@ -101,9 +101,17 @@ pub struct SearchStats {
     /// Number of storage segments probed. A single index reports 0; the
     /// segmented collection layer sets this to its fan-out width.
     pub segments_probed: usize,
+    /// Number of storage segments skipped entirely because their zone map
+    /// could not intersect the pushed-down filter. A single index reports 0.
+    pub segments_pruned: usize,
     /// Number of candidates offered to bounded [`TopK`] selectors. Selection
     /// is O(n log k) in this, versus the O(n log n) of a full sort.
     pub heap_pushes: usize,
+    /// Number of stored vectors a pushed-down [`IdFilter`] rejected before
+    /// they could enter candidate selection (rows masked in a flat scan,
+    /// codes skipped before ADC scoring, graph nodes visited but not
+    /// accepted into the beam).
+    pub filtered_out: usize,
 }
 
 impl SearchStats {
@@ -115,7 +123,55 @@ impl SearchStats {
         self.cells_probed += other.cells_probed;
         self.exact_rescored += other.exact_rescored;
         self.segments_probed += other.segments_probed;
+        self.segments_pruned += other.segments_pruned;
         self.heap_pushes += other.heap_pushes;
+        self.filtered_out += other.filtered_out;
+    }
+}
+
+/// A pushed-down predicate over external vector ids, evaluated inside every
+/// index scan so rejected rows never reach candidate selection (and, for the
+/// quantized and graph families, are never fully scored).
+///
+/// The storage layer compiles metadata predicates (video subsets, time
+/// windows, object classes) into one of these before fanning a query out to
+/// its segments; see `lovo-store`'s `PushdownFilter` for the zone-map half of
+/// the pushdown.
+pub enum IdFilter {
+    /// Explicit allow-set of ids (the shape metadata joins produce).
+    Set(std::collections::HashSet<VectorId>),
+    /// Arbitrary predicate over the id bits (e.g. a packed video-id test
+    /// that needs no materialized set at all).
+    Predicate(Box<dyn Fn(VectorId) -> bool + Send + Sync>),
+}
+
+impl IdFilter {
+    /// Builds an allow-set filter from an id iterator.
+    pub fn from_ids(ids: impl IntoIterator<Item = VectorId>) -> Self {
+        IdFilter::Set(ids.into_iter().collect())
+    }
+
+    /// Builds a predicate filter from a closure over the id bits.
+    pub fn from_predicate(pred: impl Fn(VectorId) -> bool + Send + Sync + 'static) -> Self {
+        IdFilter::Predicate(Box::new(pred))
+    }
+
+    /// True when the filter accepts the id.
+    #[inline]
+    pub fn accepts(&self, id: VectorId) -> bool {
+        match self {
+            IdFilter::Set(ids) => ids.contains(&id),
+            IdFilter::Predicate(pred) => pred(id),
+        }
+    }
+}
+
+impl std::fmt::Debug for IdFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdFilter::Set(ids) => write!(f, "IdFilter::Set({} ids)", ids.len()),
+            IdFilter::Predicate(_) => write!(f, "IdFilter::Predicate"),
+        }
     }
 }
 
@@ -297,6 +353,29 @@ pub trait VectorIndex: Send + Sync {
         k: usize,
     ) -> Result<(Vec<SearchResult>, SearchStats)>;
 
+    /// Returns the `k` most similar vectors whose ids pass `filter`, best
+    /// first. Every family evaluates the filter *inside* its scan so rejected
+    /// vectors are skipped as early as the layout allows: flat masks rows
+    /// during the block scan, IVF-PQ skips non-matching codes before ADC
+    /// scoring and rescores only matching candidates, HNSW visits the graph
+    /// unfiltered but accepts only matching nodes into the result beam.
+    fn search_filtered_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &IdFilter,
+    ) -> Result<(Vec<SearchResult>, SearchStats)>;
+
+    /// [`VectorIndex::search_filtered_with_stats`] without the statistics.
+    fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &IdFilter,
+    ) -> Result<Vec<SearchResult>> {
+        Ok(self.search_filtered_with_stats(query, k, filter)?.0)
+    }
+
     /// Human-readable name of the index family (for reports).
     fn family(&self) -> &'static str;
 
@@ -404,20 +483,38 @@ mod tests {
             cells_probed: 2,
             exact_rescored: 5,
             segments_probed: 1,
+            segments_pruned: 4,
             heap_pushes: 11,
+            filtered_out: 2,
         };
         a.merge(&SearchStats {
             vectors_scored: 7,
             cells_probed: 3,
             exact_rescored: 4,
             segments_probed: 2,
+            segments_pruned: 1,
             heap_pushes: 6,
+            filtered_out: 3,
         });
         assert_eq!(a.vectors_scored, 17);
         assert_eq!(a.cells_probed, 5);
         assert_eq!(a.exact_rescored, 9);
         assert_eq!(a.segments_probed, 3);
+        assert_eq!(a.segments_pruned, 5);
         assert_eq!(a.heap_pushes, 17);
+        assert_eq!(a.filtered_out, 5);
+    }
+
+    #[test]
+    fn id_filter_set_and_predicate_accept() {
+        let set = IdFilter::from_ids([3u64, 5, 9]);
+        assert!(set.accepts(5));
+        assert!(!set.accepts(4));
+        let even = IdFilter::from_predicate(|id| id % 2 == 0);
+        assert!(even.accepts(8));
+        assert!(!even.accepts(9));
+        assert!(format!("{set:?}").contains("3 ids"));
+        assert!(format!("{even:?}").contains("Predicate"));
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! [`SegmentedCollection::compact`] merges undersized sealed segments to
 //! bound the fan-out width.
 
-use crate::segment::Segment;
+use crate::segment::{Segment, ZoneMap};
 use crate::Result;
-use lovo_index::{IndexKind, SearchResult, SearchStats, TopK, VectorId};
+use lovo_index::{IdFilter, IndexKind, SearchResult, SearchStats, TopK, VectorId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -91,6 +91,63 @@ pub struct CompactionResult {
     pub segments_merged: usize,
     /// Merged segments created (each with a freshly built index).
     pub segments_created: usize,
+}
+
+/// A fully compiled pushed-down filter: the per-row id test every segment
+/// scan applies, plus (optionally) the id ranges the filter could accept,
+/// which the fan-out checks against segment zone maps to prune whole
+/// segments without probing them.
+#[derive(Debug)]
+pub struct PushdownFilter {
+    ids: IdFilter,
+    ranges: Option<Vec<(VectorId, VectorId)>>,
+}
+
+impl PushdownFilter {
+    /// Wraps an id filter with no range information (no segment pruning).
+    pub fn new(ids: IdFilter) -> Self {
+        Self { ids, ranges: None }
+    }
+
+    /// Attaches the inclusive id ranges the filter can accept, in any order
+    /// (pruning tests each range against the zone map linearly — range lists
+    /// are one entry per constrained video, so small). An empty list means
+    /// the filter is provably empty: every segment is pruned.
+    pub fn with_ranges(mut self, ranges: Vec<(VectorId, VectorId)>) -> Self {
+        self.ranges = Some(ranges);
+        self
+    }
+
+    /// The per-row id test.
+    pub fn id_filter(&self) -> &IdFilter {
+        &self.ids
+    }
+
+    /// The declared candidate id ranges, if any.
+    pub fn ranges(&self) -> Option<&[(VectorId, VectorId)]> {
+        self.ranges.as_deref()
+    }
+
+    /// True when a segment with this zone map could hold a matching row.
+    #[inline]
+    pub fn might_match(&self, zone: &ZoneMap) -> bool {
+        match &self.ranges {
+            None => true,
+            Some(ranges) => ranges.iter().any(|&(start, end)| zone.overlaps(start, end)),
+        }
+    }
+}
+
+/// One query of a batched fan-out: the embedding, its `k`, and an optional
+/// pushed-down filter.
+#[derive(Debug)]
+pub struct BatchQuery<'a> {
+    /// The (not yet normalized) query embedding.
+    pub query: &'a [f32],
+    /// Number of hits to return.
+    pub k: usize,
+    /// Optional pushed-down filter.
+    pub filter: Option<&'a PushdownFilter>,
 }
 
 /// A named collection of embeddings over sealed segments plus one growing
@@ -296,101 +353,162 @@ impl SegmentedCollection {
         Ok(self.search_with_stats(query, k)?.0)
     }
 
-    /// Searches all segments — in parallel when there is more than one — and
-    /// merges the per-segment top-k into the collection top-k with a bounded
-    /// [`TopK`] selection, aggregating per-segment probe statistics.
+    /// Unfiltered search: [`SegmentedCollection::search_filtered_with_stats`]
+    /// with no pushed-down filter.
     pub fn search_with_stats(
         &self,
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<SearchResult>, SearchStats)> {
-        let owned;
-        let query = if self.config.normalize {
-            owned = lovo_index::metric::normalized(query);
-            owned.as_slice()
-        } else {
-            query
-        };
+        self.search_filtered_with_stats(query, k, None)
+    }
+
+    /// Searches all segments the filter cannot rule out — in parallel when
+    /// there is more than one — pushing the filter's id test into every
+    /// per-segment scan, and merges the per-segment top-k into the collection
+    /// top-k with a bounded [`TopK`] selection. Segments whose zone map does
+    /// not intersect the filter's id ranges are pruned before fan-out and
+    /// counted in [`SearchStats::segments_pruned`].
+    pub fn search_filtered_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: Option<&PushdownFilter>,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        let mut results = self.search_batch_with_stats(&[BatchQuery { query, k, filter }])?;
+        Ok(results.pop().expect("one result per batched query"))
+    }
+
+    /// Answers a batch of (possibly filtered) queries in one fan-out pass:
+    /// the segment set is walked once, each segment scanned for every query
+    /// it survives pruning for while its rows are hot in cache, so a batch
+    /// shares the per-segment access cost that per-query fan-outs would pay
+    /// once per query. Results come back in request order.
+    pub fn search_batch_with_stats(
+        &self,
+        requests: &[BatchQuery<'_>],
+    ) -> Result<Vec<(Vec<SearchResult>, SearchStats)>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Normalize every query once, up front.
+        let normalized: Vec<Vec<f32>> = requests
+            .iter()
+            .map(|request| {
+                if self.config.normalize {
+                    lovo_index::metric::normalized(request.query)
+                } else {
+                    request.query.to_vec()
+                }
+            })
+            .collect();
 
         let mut probes: Vec<&Segment> = self.sealed.iter().collect();
         if !self.growing.is_empty() {
             probes.push(&self.growing);
         }
+        if probes.is_empty() {
+            return Ok(requests
+                .iter()
+                .map(|_| (Vec::new(), SearchStats::default()))
+                .collect());
+        }
+
         // Fan out over at most `available_parallelism` scoped threads, each
         // probing a chunk of segments — one thread per segment would pay a
         // spawn per probe, which dominates once appends fragment the
-        // collection into many small segments. Collections small enough that
-        // the spawn overhead rivals the scan work are probed sequentially.
-        // Each worker folds its chunk's hits into ONE reused merge scratch as
-        // segments finish, instead of collecting a per-segment result vec.
+        // collection into many small segments. Workloads small enough that
+        // the spawn overhead rivals the scan work are probed sequentially;
+        // the scan work scales with the *batch size as well as* the row
+        // count, so a large batch over a small collection still parallelizes.
+        // Each worker keeps ONE reused merge scratch per query and folds
+        // segment hits in as they finish, instead of collecting a
+        // per-segment result vec.
         let total_rows: usize = probes.iter().map(|segment| segment.len()).sum();
-        let sequential = probes.len() <= 2 || total_rows < SEQUENTIAL_SEARCH_ROWS;
+        let sequential =
+            probes.len() == 1 || total_rows.saturating_mul(requests.len()) < SEQUENTIAL_SEARCH_ROWS;
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(probes.len());
-        let per_thread: Vec<MergeScratch> = match probes.len() {
-            0 => return Ok((Vec::new(), SearchStats::default())),
-            _ if sequential => {
-                let mut scratch = MergeScratch::default();
-                for segment in &probes {
-                    scratch.fold(segment.search_with_stats(query, k)?);
+        let scan_chunk = |chunk: &[&Segment]| -> Result<Vec<MergeScratch>> {
+            let mut scratches: Vec<MergeScratch> =
+                requests.iter().map(|_| MergeScratch::default()).collect();
+            for segment in chunk {
+                for ((request, query), scratch) in
+                    requests.iter().zip(&normalized).zip(&mut scratches)
+                {
+                    match (request.filter, segment.zone_map()) {
+                        (Some(filter), Some(zone)) if !filter.might_match(&zone) => {
+                            scratch.stats.segments_pruned += 1;
+                        }
+                        _ => scratch.fold(segment.search_filtered_with_stats(
+                            query,
+                            request.k,
+                            request.filter.map(PushdownFilter::id_filter),
+                        )?),
+                    }
                 }
-                vec![scratch]
             }
-            _ => {
-                let chunk_size = probes.len().div_ceil(workers);
-                let chunks: Vec<&[&Segment]> = probes.chunks(chunk_size).collect();
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = chunks
-                        .iter()
-                        .map(|chunk| {
-                            scope.spawn(move || -> Result<MergeScratch> {
-                                let mut scratch = MergeScratch::default();
-                                for segment in chunk.iter() {
-                                    scratch.fold(segment.search_with_stats(query, k)?);
-                                }
-                                Ok(scratch)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|handle| handle.join().expect("segment search worker panicked"))
-                        .collect::<Result<Vec<_>>>()
-                })?
-            }
+            Ok(scratches)
+        };
+        let per_thread: Vec<Vec<MergeScratch>> = if sequential {
+            vec![scan_chunk(&probes)?]
+        } else {
+            let chunk_size = probes.len().div_ceil(workers);
+            let chunks: Vec<&[&Segment]> = probes.chunks(chunk_size).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| scope.spawn(|| scan_chunk(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("segment search worker panicked"))
+                    .collect::<Result<Vec<_>>>()
+            })?
         };
 
-        // Merge the per-thread folds: best score per id across all threads,
-        // then one bounded top-k selection. The selector's (score desc, id
-        // asc) total order over now-unique ids makes the result independent
-        // of fold and map-iteration order.
-        let mut threads = per_thread.into_iter();
-        let mut merged = threads.next().expect("at least one fan-out worker");
-        for scratch in threads {
-            merged.stats.merge(&scratch.stats);
-            merged.probes += scratch.probes;
-            for (id, score) in scratch.best {
-                merged
-                    .best
-                    .entry(id)
-                    .and_modify(|best| *best = best.max(score))
-                    .or_insert(score);
-            }
-        }
-        let MergeScratch {
-            best,
-            mut stats,
-            probes: probed,
-        } = merged;
-        let mut top = TopK::new(k);
-        for (id, score) in best {
-            top.push_hit(id, score);
-        }
-        stats.heap_pushes += top.pushes();
-        stats.segments_probed = probed;
-        Ok((top.into_sorted_results(), stats))
+        // Merge the per-thread folds query by query: best score per id across
+        // all threads, then one bounded top-k selection. The selector's
+        // (score desc, id asc) total order over now-unique ids makes the
+        // result independent of fold and map-iteration order.
+        let mut per_query: Vec<MergeScratch> = {
+            let mut threads = per_thread.into_iter();
+            let first = threads.next().expect("at least one fan-out worker");
+            threads.fold(first, |mut acc, scratches| {
+                for (merged, scratch) in acc.iter_mut().zip(scratches) {
+                    merged.stats.merge(&scratch.stats);
+                    merged.probes += scratch.probes;
+                    for (id, score) in scratch.best {
+                        merged
+                            .best
+                            .entry(id)
+                            .and_modify(|best| *best = best.max(score))
+                            .or_insert(score);
+                    }
+                }
+                acc
+            })
+        };
+        Ok(per_query
+            .drain(..)
+            .zip(requests)
+            .map(|(scratch, request)| {
+                let MergeScratch {
+                    best,
+                    mut stats,
+                    probes: probed,
+                } = scratch;
+                let mut top = TopK::new(request.k);
+                for (id, score) in best {
+                    top.push_hit(id, score);
+                }
+                stats.heap_pushes += top.pushes();
+                stats.segments_probed = probed;
+                (top.into_sorted_results(), stats)
+            })
+            .collect())
     }
 
     /// Size statistics for the experiment reports (Fig. 11(b)).
@@ -594,6 +712,95 @@ mod tests {
             let b = split.search(&vectors[probe], 10).unwrap();
             assert_eq!(a, b, "probe {probe}");
         }
+    }
+
+    #[test]
+    fn zone_map_pruning_skips_non_matching_segments() {
+        // Ids are assigned in segment-contiguous blocks, mimicking the
+        // video-ordered patch-id assignment of ingestion.
+        let cfg = CollectionConfig::new(8)
+            .with_index_kind(IndexKind::BruteForce)
+            .with_segment_capacity(50);
+        let mut c = SegmentedCollection::new("zones", cfg).unwrap();
+        let vectors = sample_vectors(200, 8);
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        c.seal().unwrap();
+        assert_eq!(c.stats().sealed_segments, 4);
+
+        // Filter allowing only ids 50..100: one segment can match.
+        let filter = PushdownFilter::new(IdFilter::from_predicate(|id| (50..100).contains(&id)))
+            .with_ranges(vec![(50, 99)]);
+        let (hits, stats) = c
+            .search_filtered_with_stats(&vectors[60], 5, Some(&filter))
+            .unwrap();
+        assert_eq!(hits[0].id, 60);
+        assert!(hits.iter().all(|h| (50..100).contains(&h.id)));
+        assert_eq!(stats.segments_pruned, 3);
+        assert_eq!(stats.segments_probed, 1);
+        assert_eq!(stats.vectors_scored, 50);
+
+        // The same filter without ranges probes everything but still masks.
+        let no_ranges = PushdownFilter::new(IdFilter::from_predicate(|id| (50..100).contains(&id)));
+        let (hits2, stats2) = c
+            .search_filtered_with_stats(&vectors[60], 5, Some(&no_ranges))
+            .unwrap();
+        assert_eq!(hits, hits2);
+        assert_eq!(stats2.segments_pruned, 0);
+        assert_eq!(stats2.segments_probed, 4);
+        assert_eq!(stats2.filtered_out, 150);
+
+        // An empty range list is a provably-empty filter: all pruned.
+        let empty = PushdownFilter::new(IdFilter::Set(Default::default())).with_ranges(Vec::new());
+        let (none, estats) = c
+            .search_filtered_with_stats(&vectors[0], 5, Some(&empty))
+            .unwrap();
+        assert!(none.is_empty());
+        assert_eq!(estats.segments_pruned, 4);
+        assert_eq!(estats.segments_probed, 0);
+    }
+
+    #[test]
+    fn batch_search_matches_individual_queries() {
+        let cfg = CollectionConfig::new(16).with_segment_capacity(100);
+        let mut c = SegmentedCollection::new("batch", cfg).unwrap();
+        let vectors = sample_vectors(450, 16);
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        c.seal().unwrap();
+        let filter = PushdownFilter::new(IdFilter::from_predicate(|id| id < 200))
+            .with_ranges(vec![(0, 199)]);
+        let requests = [
+            BatchQuery {
+                query: vectors[7].as_slice(),
+                k: 5,
+                filter: None,
+            },
+            BatchQuery {
+                query: vectors[120].as_slice(),
+                k: 3,
+                filter: Some(&filter),
+            },
+            BatchQuery {
+                query: vectors[400].as_slice(),
+                k: 7,
+                filter: None,
+            },
+        ];
+        let batched = c.search_batch_with_stats(&requests).unwrap();
+        assert_eq!(batched.len(), 3);
+        let single_a = c.search_with_stats(&vectors[7], 5).unwrap();
+        let single_b = c
+            .search_filtered_with_stats(&vectors[120], 3, Some(&filter))
+            .unwrap();
+        let single_c = c.search_with_stats(&vectors[400], 7).unwrap();
+        assert_eq!(batched[0], single_a);
+        assert_eq!(batched[1], single_b);
+        assert_eq!(batched[2], single_c);
+        assert!(batched[1].0.iter().all(|h| h.id < 200));
+        assert!(c.search_batch_with_stats(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! the collection's segments and returns hits already joined with their
 //! relational rows (frame id, bounding box, timestamp).
 
-use crate::collection::{CollectionConfig, CollectionStats, CompactionResult, VectorCollection};
-use crate::metadata::{MetadataStore, PatchRecord};
+use crate::collection::{
+    BatchQuery, CollectionConfig, CollectionStats, CompactionResult, PushdownFilter,
+    VectorCollection,
+};
+use crate::metadata::{MetadataStore, PatchPredicate, PatchRecord};
+use crate::patchid;
 use crate::{Result, StoreError};
-use lovo_index::SearchStats;
+use lovo_index::{IdFilter, SearchResult, SearchStats};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -156,14 +160,105 @@ impl VectorDatabase {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<JoinedHit>, SearchStats)> {
+        self.search_pushdown_with_stats(collection, query, k, None)
+    }
+
+    /// Compiles a metadata predicate into the fully pushed-down filter the
+    /// index scans consume: the id test every segment applies per row, plus
+    /// the candidate id ranges used to prune segments by zone map.
+    ///
+    /// Video-only predicates compile to a bit test over the packed patch id —
+    /// no metadata access at all. Predicates involving timestamps or object
+    /// classes are joined against the metadata table in one sequential pass,
+    /// yielding an explicit allow-set. Returns `None` for an unconstrained
+    /// predicate (the unfiltered fast path).
+    pub fn resolve_filter(&self, predicate: &PatchPredicate) -> Option<PushdownFilter> {
+        if predicate.is_unconstrained() {
+            return None;
+        }
+        let video_ranges = |videos: &std::collections::BTreeSet<u32>| {
+            videos.iter().map(|&v| patchid::video_id_range(v)).collect()
+        };
+        if predicate.needs_metadata_join() {
+            let ids = self.metadata.read().matching_ids(predicate);
+            let ranges: Vec<(u64, u64)> = if ids.is_empty() {
+                Vec::new() // provably empty: prune every segment
+            } else if let Some(videos) = &predicate.video_ids {
+                video_ranges(videos)
+            } else {
+                let min = ids.iter().copied().min().expect("non-empty id set");
+                let max = ids.iter().copied().max().expect("non-empty id set");
+                vec![(min, max)]
+            };
+            Some(PushdownFilter::new(IdFilter::Set(ids)).with_ranges(ranges))
+        } else {
+            let videos = predicate
+                .video_ids
+                .clone()
+                .expect("a constrained join-free predicate constrains video ids");
+            let ranges = video_ranges(&videos);
+            let filter =
+                IdFilter::from_predicate(move |id| videos.contains(&patchid::video_of(id)));
+            Some(PushdownFilter::new(filter).with_ranges(ranges))
+        }
+    }
+
+    /// Filtered fast search: like [`VectorDatabase::search_with_stats`] but
+    /// pushing a compiled filter down through the segment fan-out into every
+    /// index scan.
+    pub fn search_pushdown_with_stats(
+        &self,
+        collection: &str,
+        query: &[f32],
+        k: usize,
+        filter: Option<&PushdownFilter>,
+    ) -> Result<(Vec<JoinedHit>, SearchStats)> {
         let collections = self.collections.read();
         let col = collections
             .get(collection)
             .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
-        let (hits, stats) = col.search_with_stats(query, k)?;
-        let metadata = self.metadata.read();
-        let joined = hits
+        let (hits, stats) = col.search_filtered_with_stats(query, k, filter)?;
+        Ok((self.join_hits(hits)?, stats))
+    }
+
+    /// Resolves a predicate and runs one filtered search in a single call
+    /// (the planner times the two steps separately; this is the convenience
+    /// path for tests and benchmarks).
+    pub fn search_with_predicate(
+        &self,
+        collection: &str,
+        query: &[f32],
+        k: usize,
+        predicate: &PatchPredicate,
+    ) -> Result<(Vec<JoinedHit>, SearchStats)> {
+        let filter = self.resolve_filter(predicate);
+        self.search_pushdown_with_stats(collection, query, k, filter.as_ref())
+    }
+
+    /// Batched fast search: all queries fan out over the segment set together
+    /// (one collection read-lock acquisition, one segment walk shared by the
+    /// whole batch), each with its own `k` and optional pushed-down filter.
+    /// Results come back joined with metadata, in request order.
+    pub fn search_batch_with_stats(
+        &self,
+        collection: &str,
+        requests: &[BatchQuery<'_>],
+    ) -> Result<Vec<(Vec<JoinedHit>, SearchStats)>> {
+        let collections = self.collections.read();
+        let col = collections
+            .get(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        let results = col.search_batch_with_stats(requests)?;
+        results
             .into_iter()
+            .map(|(hits, stats)| Ok((self.join_hits(hits)?, stats)))
+            .collect()
+    }
+
+    /// Joins raw index hits with their metadata rows.
+    fn join_hits(&self, hits: Vec<SearchResult>) -> Result<Vec<JoinedHit>> {
+        let metadata = self.metadata.read();
+        hits.into_iter()
             .map(|hit| {
                 metadata.get(hit.id).map(|record| JoinedHit {
                     patch_id: hit.id,
@@ -171,8 +266,7 @@ impl VectorDatabase {
                     record: record.clone(),
                 })
             })
-            .collect::<Result<Vec<_>>>()?;
-        Ok((joined, stats))
+            .collect()
     }
 
     /// All metadata rows of one key frame (used by the rerank stage to pull a
@@ -226,6 +320,7 @@ mod tests {
             patch_index: 0,
             bbox: (0.0, 0.0, 10.0, 10.0),
             timestamp: frame as f64 / 30.0,
+            class_code: Some((patch_id % 4) as u8),
         }
     }
 
@@ -353,6 +448,133 @@ mod tests {
         assert_eq!(hits[0].patch_id, 42);
         assert!(db.seal_collection("missing").is_err());
         assert!(db.compact_collection("missing").is_err());
+    }
+
+    #[test]
+    fn video_only_predicate_needs_no_metadata_and_prunes_segments() {
+        let db = VectorDatabase::new();
+        db.create_collection("p", CollectionConfig::new(8).with_segment_capacity(64))
+            .unwrap();
+        // Four videos × 64 patches, packed ids, sealed per video so segments
+        // are video-contiguous the way real ingestion makes them.
+        for video in 0..4u32 {
+            for i in 0..64u64 {
+                let id = patchid::patch_id(video, i as u32, 0);
+                let rec = record(id, video, i as u32);
+                db.insert_patch("p", &vector(video as usize * 64 + i as usize, 8), rec)
+                    .unwrap();
+            }
+            db.seal_collection("p").unwrap();
+        }
+        let predicate = PatchPredicate {
+            video_ids: Some([2u32].into_iter().collect()),
+            ..Default::default()
+        };
+        assert!(!predicate.needs_metadata_join());
+        let filter = db.resolve_filter(&predicate).unwrap();
+        let probe = vector(2 * 64 + 11, 8);
+        let (hits, stats) = db
+            .search_pushdown_with_stats("p", &probe, 5, Some(&filter))
+            .unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.record.video_id == 2));
+        assert_eq!(hits[0].patch_id, patchid::patch_id(2, 11, 0));
+        assert_eq!(stats.segments_pruned, 3);
+        assert_eq!(stats.segments_probed, 1);
+        // The unconstrained predicate resolves to no filter at all.
+        assert!(db.resolve_filter(&PatchPredicate::default()).is_none());
+    }
+
+    #[test]
+    fn metadata_join_predicates_build_an_allow_set() {
+        let db = VectorDatabase::new();
+        db.create_collection(
+            "p",
+            CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce),
+        )
+        .unwrap();
+        for i in 0..120u64 {
+            // timestamp = frame/30; classes cycle 0..4.
+            db.insert_patch("p", &vector(i as usize, 8), record(i, 0, (i % 60) as u32))
+                .unwrap();
+        }
+        db.seal_collection("p").unwrap();
+        // Time window 0.5..1.0 s (frames 15..=30) and class 1.
+        let predicate = PatchPredicate {
+            time_range: Some((0.5, 1.0)),
+            class_codes: Some([1u8].into_iter().collect()),
+            ..Default::default()
+        };
+        let (hits, stats) = db
+            .search_with_predicate("p", &vector(17, 8), 50, &predicate)
+            .unwrap();
+        assert!(!hits.is_empty());
+        for hit in &hits {
+            assert!(hit.record.timestamp >= 0.5 && hit.record.timestamp <= 1.0);
+            assert_eq!(hit.record.class_code, Some(1));
+        }
+        assert!(stats.filtered_out > 0);
+
+        // A predicate nothing satisfies prunes everything via empty ranges.
+        let impossible = PatchPredicate {
+            time_range: Some((100.0, 200.0)),
+            ..Default::default()
+        };
+        let (none, nstats) = db
+            .search_with_predicate("p", &vector(17, 8), 5, &impossible)
+            .unwrap();
+        assert!(none.is_empty());
+        assert_eq!(nstats.segments_probed, 0);
+        assert!(nstats.segments_pruned >= 1);
+    }
+
+    #[test]
+    fn batch_search_joins_all_requests_in_order() {
+        let db = VectorDatabase::new();
+        db.create_collection(
+            "p",
+            CollectionConfig::new(8).with_index_kind(IndexKind::BruteForce),
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            db.insert_patch(
+                "p",
+                &vector(i as usize, 8),
+                record(i, (i / 50) as u32, i as u32),
+            )
+            .unwrap();
+        }
+        db.seal_collection("p").unwrap();
+        let predicate = PatchPredicate {
+            time_range: Some((0.0, 1.0)), // frames 0..=30
+            ..Default::default()
+        };
+        let filter = db.resolve_filter(&predicate).unwrap();
+        let q0 = vector(5, 8);
+        let q1 = vector(60, 8);
+        let requests = [
+            BatchQuery {
+                query: &q0,
+                k: 3,
+                filter: Some(&filter),
+            },
+            BatchQuery {
+                query: &q1,
+                k: 2,
+                filter: None,
+            },
+        ];
+        let results = db.search_batch_with_stats("p", &requests).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0[0].patch_id, 5);
+        assert!(results[0].0.iter().all(|h| h.record.timestamp <= 1.0));
+        assert_eq!(results[1].0[0].patch_id, 60);
+        // Batch results match the equivalent single searches.
+        let single = db
+            .search_pushdown_with_stats("p", &q0, 3, Some(&filter))
+            .unwrap();
+        assert_eq!(results[0], single);
+        assert!(db.search_batch_with_stats("missing", &requests).is_err());
     }
 
     #[test]

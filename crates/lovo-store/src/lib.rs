@@ -29,15 +29,17 @@
 pub mod collection;
 pub mod database;
 pub mod metadata;
+pub mod patchid;
 pub mod segment;
 
 pub use collection::{
-    CollectionConfig, CollectionStats, CompactionResult, SegmentedCollection, VectorCollection,
-    DEFAULT_SEGMENT_CAPACITY,
+    BatchQuery, CollectionConfig, CollectionStats, CompactionResult, PushdownFilter,
+    SegmentedCollection, VectorCollection, DEFAULT_SEGMENT_CAPACITY,
 };
 pub use database::{JoinedHit, VectorDatabase};
-pub use metadata::{MetadataStore, PatchRecord};
-pub use segment::{Segment, SegmentState};
+pub use metadata::{MetadataStore, PatchPredicate, PatchRecord};
+pub use patchid::{patch_id, split_patch_id, MAX_PATCH_INDEX, MAX_VIDEO_ID};
+pub use segment::{Segment, SegmentState, ZoneMap};
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug)]

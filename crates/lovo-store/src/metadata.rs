@@ -9,7 +9,7 @@
 
 use crate::{Result, StoreError};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// One row of the patch metadata table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,12 +26,70 @@ pub struct PatchRecord {
     pub bbox: (f32, f32, f32, f32),
     /// Timestamp of the key frame in seconds.
     pub timestamp: f64,
+    /// Compact detector label of the patch's dominant object (`None` for
+    /// background patches). The storage layer treats this as an opaque code —
+    /// the engine defines the label space — but class predicates filter on it.
+    pub class_code: Option<u8>,
 }
 
 impl PatchRecord {
     /// Packed `(video, frame)` key used by the per-frame secondary index.
     pub fn frame_key(&self) -> u64 {
         (u64::from(self.video_id) << 32) | u64::from(self.frame_index)
+    }
+}
+
+/// A conjunctive metadata predicate over patch rows — the storage-level form
+/// the query planner compiles its [`QueryPredicate`] AST into. Every
+/// constraint is optional; `None` means unconstrained. The database joins
+/// this against the metadata table (when the time or class constraints
+/// require it) and pushes the result down to the index scans as an
+/// [`lovo_index::IdFilter`] plus zone-map ranges.
+///
+/// [`QueryPredicate`]: https://docs.rs/lovo-video (the engine-level AST)
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PatchPredicate {
+    /// Restrict to patches of these videos.
+    pub video_ids: Option<BTreeSet<u32>>,
+    /// Restrict to patches whose key-frame timestamp lies in this inclusive
+    /// range of seconds.
+    pub time_range: Option<(f64, f64)>,
+    /// Restrict to patches whose dominant-object class code is one of these.
+    pub class_codes: Option<BTreeSet<u8>>,
+}
+
+impl PatchPredicate {
+    /// True when no constraint is set (the unfiltered fast path).
+    pub fn is_unconstrained(&self) -> bool {
+        self.video_ids.is_none() && self.time_range.is_none() && self.class_codes.is_none()
+    }
+
+    /// True when the predicate needs a metadata join to evaluate (timestamps
+    /// and class codes live only in the relational table; video ids are
+    /// recoverable from the packed patch id alone).
+    pub fn needs_metadata_join(&self) -> bool {
+        self.time_range.is_some() || self.class_codes.is_some()
+    }
+
+    /// True when the row satisfies every set constraint.
+    pub fn matches(&self, record: &PatchRecord) -> bool {
+        if let Some(videos) = &self.video_ids {
+            if !videos.contains(&record.video_id) {
+                return false;
+            }
+        }
+        if let Some((start, end)) = self.time_range {
+            if record.timestamp < start || record.timestamp > end {
+                return false;
+            }
+        }
+        if let Some(classes) = &self.class_codes {
+            match record.class_code {
+                Some(code) if classes.contains(&code) => {}
+                _ => return false,
+            }
+        }
+        true
     }
 }
 
@@ -103,6 +161,17 @@ impl MetadataStore {
         self.by_frame.len()
     }
 
+    /// Ids of every row satisfying the predicate — the metadata half of
+    /// predicate pushdown. One sequential pass over the table; the result
+    /// becomes the allow-set the index scans filter on.
+    pub fn matching_ids(&self, predicate: &PatchPredicate) -> HashSet<u64> {
+        self.rows
+            .values()
+            .filter(|record| predicate.matches(record))
+            .map(|record| record.patch_id)
+            .collect()
+    }
+
     /// Approximate memory footprint in bytes (used by the storage ablation).
     pub fn memory_bytes(&self) -> usize {
         self.rows.len() * std::mem::size_of::<PatchRecord>()
@@ -127,6 +196,7 @@ mod tests {
             patch_index: (patch_id % 48) as u32,
             bbox: (10.0, 20.0, 100.0, 50.0),
             timestamp: frame as f64 / 30.0,
+            class_code: Some((patch_id % 3) as u8),
         }
     }
 
@@ -192,6 +262,70 @@ mod tests {
     fn frame_key_packs_video_and_frame() {
         let r = record(1, 3, 9);
         assert_eq!(r.frame_key(), (3u64 << 32) | 9);
+    }
+
+    #[test]
+    fn predicate_matches_each_constraint() {
+        let r = record(10, 2, 30); // timestamp 1.0, class 1
+        assert!(PatchPredicate::default().matches(&r));
+        assert!(PatchPredicate::default().is_unconstrained());
+
+        let videos = PatchPredicate {
+            video_ids: Some([2u32].into_iter().collect()),
+            ..Default::default()
+        };
+        assert!(videos.matches(&r));
+        assert!(!videos.needs_metadata_join());
+        let wrong_video = PatchPredicate {
+            video_ids: Some([3u32].into_iter().collect()),
+            ..Default::default()
+        };
+        assert!(!wrong_video.matches(&r));
+
+        let time = PatchPredicate {
+            time_range: Some((0.5, 1.5)),
+            ..Default::default()
+        };
+        assert!(time.matches(&r));
+        assert!(time.needs_metadata_join());
+        let early = PatchPredicate {
+            time_range: Some((0.0, 0.9)),
+            ..Default::default()
+        };
+        assert!(!early.matches(&r));
+
+        let class = PatchPredicate {
+            class_codes: Some([1u8].into_iter().collect()),
+            ..Default::default()
+        };
+        assert!(class.matches(&r));
+        let other_class = PatchPredicate {
+            class_codes: Some([2u8].into_iter().collect()),
+            ..Default::default()
+        };
+        assert!(!other_class.matches(&r));
+        // Background rows (no class) never match a class predicate.
+        let mut background = record(11, 2, 30);
+        background.class_code = None;
+        assert!(!class.matches(&background));
+    }
+
+    #[test]
+    fn matching_ids_joins_the_predicate() {
+        let mut store = MetadataStore::new();
+        for i in 0..30u64 {
+            store.insert(record(i, (i % 3) as u32, i as u32));
+        }
+        let pred = PatchPredicate {
+            video_ids: Some([1u32].into_iter().collect()),
+            time_range: Some((0.0, 0.5)), // frames 0..=15
+            ..Default::default()
+        };
+        let ids = store.matching_ids(&pred);
+        // Videos ≡ 1 mod 3, frame index ≤ 15: ids 1, 4, 7, 10, 13.
+        assert_eq!(ids.len(), 5);
+        assert!(ids.contains(&1) && ids.contains(&13));
+        assert!(!ids.contains(&16));
     }
 
     #[test]

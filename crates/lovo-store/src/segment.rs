@@ -15,8 +15,32 @@
 
 use crate::{Result, StoreError};
 use lovo_index::{
-    create_segment_index, FlatIndex, IndexKind, SearchResult, SearchStats, VectorId, VectorIndex,
+    create_segment_index, FlatIndex, IdFilter, IndexKind, SearchResult, SearchStats, VectorId,
+    VectorIndex,
 };
+
+/// Zone map of a segment: the inclusive range of packed patch ids it holds
+/// plus its row count, recorded as rows arrive and frozen at seal time.
+/// Because ingestion appends videos in order, segments cover contiguous runs
+/// of packed ids, so a pushed-down filter that can name its candidate id
+/// ranges (e.g. a video-id predicate) prunes whole segments before fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Smallest stored id.
+    pub min_id: VectorId,
+    /// Largest stored id.
+    pub max_id: VectorId,
+    /// Number of rows covered.
+    pub rows: usize,
+}
+
+impl ZoneMap {
+    /// True when the zone could contain an id in the inclusive range.
+    #[inline]
+    pub fn overlaps(&self, start: VectorId, end: VectorId) -> bool {
+        self.min_id <= end && start <= self.max_id
+    }
+}
 
 /// Lifecycle state of a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +64,8 @@ pub struct Segment {
     buffer: FlatIndex,
     /// Present once the segment is sealed.
     index: Option<Box<dyn VectorIndex>>,
+    /// Running id range of the stored rows (`None` while empty).
+    zone: Option<ZoneMap>,
 }
 
 impl Segment {
@@ -51,6 +77,7 @@ impl Segment {
             target_kind,
             buffer: FlatIndex::new(dim),
             index: None,
+            zone: None,
         }
     }
 
@@ -101,7 +128,24 @@ impl Segment {
             )));
         }
         self.buffer.insert(id, vector)?;
+        self.zone = Some(match self.zone {
+            None => ZoneMap {
+                min_id: id,
+                max_id: id,
+                rows: 1,
+            },
+            Some(zone) => ZoneMap {
+                min_id: zone.min_id.min(id),
+                max_id: zone.max_id.max(id),
+                rows: zone.rows + 1,
+            },
+        });
         Ok(())
+    }
+
+    /// The segment's zone map (`None` while the segment is empty).
+    pub fn zone_map(&self) -> Option<ZoneMap> {
+        self.zone
     }
 
     /// Seals the segment: builds the ANN index over the buffered rows. The
@@ -128,9 +172,37 @@ impl Segment {
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<SearchResult>, SearchStats)> {
-        match &self.index {
-            Some(index) => Ok(index.search_with_stats(query, k)?),
-            None => Ok(self.buffer.search_with_stats(query, k)?),
+        self.search_filtered_with_stats(query, k, None)
+    }
+
+    /// Like [`Segment::search_with_stats`], pushing an id filter into the
+    /// underlying scan when one is given.
+    ///
+    /// Graph escape hatch: HNSW's filtered-accept beam loses recall as
+    /// selectivity drops (few accepted nodes ever enter the result beam), so
+    /// when a sealed graph segment faces an allow-set much smaller than its
+    /// row count, the search answers from the retained raw rows instead — an
+    /// exact filtered scan whose cost is one id test per row plus one dot
+    /// per *matching* row, which at that selectivity is both cheaper and
+    /// exact.
+    pub fn search_filtered_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: Option<&IdFilter>,
+    ) -> Result<(Vec<SearchResult>, SearchStats)> {
+        let index: &dyn VectorIndex = match &self.index {
+            Some(index) => index.as_ref(),
+            None => &self.buffer,
+        };
+        match filter {
+            Some(filter) => {
+                if index.family() == "HNSW" && selective_allow_set(filter, self.len()) {
+                    return Ok(self.buffer.search_filtered_with_stats(query, k, filter)?);
+                }
+                Ok(index.search_filtered_with_stats(query, k, filter)?)
+            }
+            None => Ok(index.search_with_stats(query, k)?),
         }
     }
 
@@ -149,6 +221,13 @@ impl Segment {
     pub fn raw_bytes(&self) -> usize {
         self.buffer.memory_bytes()
     }
+}
+
+/// True when the filter is an explicit allow-set small enough (under a tenth
+/// of the segment) that a graph beam would mostly visit rejected nodes.
+/// Predicate filters have unknown cardinality and stay on the index path.
+fn selective_allow_set(filter: &IdFilter, rows: usize) -> bool {
+    matches!(filter, IdFilter::Set(ids) if ids.len().saturating_mul(10) < rows)
 }
 
 #[cfg(test)]
@@ -220,5 +299,73 @@ mod tests {
         assert!(seg.insert(0, &[1.0, 2.0]).is_err());
         seg.insert(0, &[1.0, 0.0, 0.0, 0.0]).unwrap();
         assert!(seg.search_with_stats(&[1.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn zone_map_tracks_id_range_through_seal() {
+        let mut seg = Segment::new(5, 8, IndexKind::BruteForce);
+        assert!(seg.zone_map().is_none());
+        for i in [40u64, 12, 77, 30] {
+            seg.insert(i, &unit(i as usize, 8)).unwrap();
+        }
+        let zone = seg.zone_map().unwrap();
+        assert_eq!((zone.min_id, zone.max_id, zone.rows), (12, 77, 4));
+        assert!(zone.overlaps(0, 12));
+        assert!(zone.overlaps(77, 100));
+        assert!(zone.overlaps(20, 25));
+        assert!(!zone.overlaps(78, 200));
+        assert!(!zone.overlaps(0, 11));
+        seg.seal().unwrap();
+        assert_eq!(seg.zone_map().unwrap(), zone);
+    }
+
+    #[test]
+    fn selective_allow_set_on_hnsw_segment_answers_exactly_from_raw_rows() {
+        // A graph beam would find few (possibly zero) of a 5-id allow-set in
+        // a 600-row segment; the escape hatch must return the exact filtered
+        // top-k instead.
+        let mut seg = Segment::new(9, 8, IndexKind::Hnsw);
+        for i in 0..600u64 {
+            seg.insert(i, &unit(i as usize, 8)).unwrap();
+        }
+        seg.seal().unwrap();
+        assert_eq!(seg.family(), "HNSW");
+        let allowed: std::collections::HashSet<u64> = [3u64, 99, 250, 400, 577].into();
+        let filter = IdFilter::Set(allowed.clone());
+        let (hits, stats) = seg
+            .search_filtered_with_stats(&unit(42, 8), 5, Some(&filter))
+            .unwrap();
+        // Exhaustive over the allow-set: every allowed id comes back.
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| allowed.contains(&h.id)));
+        assert_eq!(stats.vectors_scored, 5);
+        assert_eq!(stats.filtered_out, 595);
+        // A large predicate filter stays on the graph path (beam stats, not
+        // a 600-row exhaustive scan).
+        let wide = IdFilter::from_predicate(|id| id % 2 == 0);
+        let (_, wide_stats) = seg
+            .search_filtered_with_stats(&unit(42, 8), 5, Some(&wide))
+            .unwrap();
+        assert!(wide_stats.vectors_scored < 600);
+    }
+
+    #[test]
+    fn filtered_segment_search_masks_ids_in_both_states() {
+        let mut seg = Segment::new(6, 8, IndexKind::IvfPq);
+        for i in 0..60u64 {
+            seg.insert(i, &unit(i as usize, 8)).unwrap();
+        }
+        let filter = IdFilter::from_predicate(|id| id >= 30);
+        for sealed in [false, true] {
+            if sealed {
+                seg.seal().unwrap();
+            }
+            let (hits, stats) = seg
+                .search_filtered_with_stats(&unit(10, 8), 5, Some(&filter))
+                .unwrap();
+            assert!(!hits.is_empty(), "sealed={sealed}");
+            assert!(hits.iter().all(|h| h.id >= 30), "sealed={sealed}");
+            assert!(stats.filtered_out > 0, "sealed={sealed}");
+        }
     }
 }

@@ -39,5 +39,5 @@ pub use object::{
     Accessory, Activity, Color, Gender, Location, ObjectAttributes, ObjectClass, Relation,
     SizeClass,
 };
-pub use query::{ObjectQuery, QueryComplexity, QueryConstraints};
+pub use query::{ObjectQuery, QueryComplexity, QueryConstraints, QueryPredicate};
 pub use scene::{Frame, FrameId, SceneObject, TrackId};

@@ -82,12 +82,18 @@ impl ObjectClass {
         }
     }
 
-    /// Stable small integer code used by the encoders to ground embeddings.
+    /// Stable small integer code used by the encoders to ground embeddings
+    /// and by the metadata store as the compact detector label.
     pub fn code(&self) -> usize {
         ObjectClass::ALL
             .iter()
             .position(|c| c == self)
             .expect("class listed in ALL")
+    }
+
+    /// Inverse of [`ObjectClass::code`].
+    pub fn from_code(code: usize) -> Option<ObjectClass> {
+        ObjectClass::ALL.get(code).copied()
     }
 
     /// Typical box extent `(w, h)` in pixels for a 1280x720 frame, used by the

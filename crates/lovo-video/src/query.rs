@@ -145,6 +145,110 @@ impl QueryConstraints {
     }
 }
 
+/// A metadata predicate restricting *where* a query searches, as opposed to
+/// [`QueryConstraints`], which describe *what* it looks for.
+///
+/// This is the AST the query planner compiles and pushes down through every
+/// layer: video-id subsets become bit tests on the packed patch id, time
+/// windows and object classes join against the relational metadata table, and
+/// the compiled filter masks candidates inside every index scan — so "find X
+/// in camera 3 last Tuesday" pays for camera 3's footage, not the corpus.
+/// Conjunctions intersect; a predicate whose constraints are jointly
+/// unsatisfiable compiles to a provably-empty plan that searches nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum QueryPredicate {
+    /// No restriction (search the whole corpus).
+    #[default]
+    Any,
+    /// Restrict to the given videos (cameras).
+    Videos(Vec<u32>),
+    /// Restrict to key frames whose timestamp lies in the inclusive range
+    /// `[start, end]` seconds.
+    TimeRange {
+        /// Window start in seconds.
+        start: f64,
+        /// Window end in seconds (inclusive).
+        end: f64,
+    },
+    /// Restrict to patches whose dominant object is of this class. A `Car`
+    /// predicate also accepts `Suv` patches, mirroring the ground-truth rule
+    /// of [`QueryConstraints::matches`].
+    Class(ObjectClass),
+    /// Conjunction: every child must hold.
+    And(Vec<QueryPredicate>),
+}
+
+impl QueryPredicate {
+    /// Restrict to a set of videos.
+    pub fn videos(ids: impl IntoIterator<Item = u32>) -> Self {
+        QueryPredicate::Videos(ids.into_iter().collect())
+    }
+
+    /// Restrict to a time window (inclusive, seconds).
+    pub fn time_range(start: f64, end: f64) -> Self {
+        QueryPredicate::TimeRange { start, end }
+    }
+
+    /// Restrict to a dominant-object class.
+    pub fn class(class: ObjectClass) -> Self {
+        QueryPredicate::Class(class)
+    }
+
+    /// Conjunction builder: `a.and(b)` holds when both hold. `Any` is the
+    /// identity; nested conjunctions are flattened.
+    pub fn and(self, other: QueryPredicate) -> Self {
+        match (self, other) {
+            (QueryPredicate::Any, other) => other,
+            (this, QueryPredicate::Any) => this,
+            (QueryPredicate::And(mut children), QueryPredicate::And(more)) => {
+                children.extend(more);
+                QueryPredicate::And(children)
+            }
+            (QueryPredicate::And(mut children), other) => {
+                children.push(other);
+                QueryPredicate::And(children)
+            }
+            (this, QueryPredicate::And(mut children)) => {
+                children.insert(0, this);
+                QueryPredicate::And(children)
+            }
+            (this, other) => QueryPredicate::And(vec![this, other]),
+        }
+    }
+
+    /// True when the predicate restricts nothing.
+    pub fn is_any(&self) -> bool {
+        match self {
+            QueryPredicate::Any => true,
+            QueryPredicate::And(children) => children.iter().all(QueryPredicate::is_any),
+            _ => false,
+        }
+    }
+
+    /// Ground-truth check: does a patch from `video_id` at `timestamp` whose
+    /// dominant object is `class` satisfy the predicate? (Used by tests to
+    /// cross-check the compiled pushdown against the AST semantics.)
+    pub fn accepts(&self, video_id: u32, timestamp: f64, class: Option<ObjectClass>) -> bool {
+        match self {
+            QueryPredicate::Any => true,
+            QueryPredicate::Videos(ids) => ids.contains(&video_id),
+            QueryPredicate::TimeRange { start, end } => timestamp >= *start && timestamp <= *end,
+            QueryPredicate::Class(wanted) => match class {
+                Some(actual) => match wanted {
+                    ObjectClass::Car => {
+                        matches!(actual, ObjectClass::Car | ObjectClass::Suv)
+                    }
+                    other => actual == *other,
+                },
+                None => false,
+            },
+            QueryPredicate::And(children) => children
+                .iter()
+                .all(|child| child.accepts(video_id, timestamp, class)),
+        }
+    }
+}
+
 /// A named evaluation query: id, text, structured constraints and complexity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectQuery {
@@ -324,6 +428,60 @@ mod tests {
         );
         assert_eq!(q.ground_truth_in_frame(&frame).len(), 1);
         assert!(q.frame_is_positive(&frame));
+    }
+
+    #[test]
+    fn predicate_builders_and_acceptance() {
+        let pred = QueryPredicate::videos([1, 3])
+            .and(QueryPredicate::time_range(10.0, 20.0))
+            .and(QueryPredicate::class(ObjectClass::Car));
+        assert!(pred.accepts(3, 15.0, Some(ObjectClass::Car)));
+        // Car predicates accept SUVs, mirroring the ground-truth rule.
+        assert!(pred.accepts(3, 15.0, Some(ObjectClass::Suv)));
+        assert!(
+            !pred.accepts(2, 15.0, Some(ObjectClass::Car)),
+            "wrong video"
+        );
+        assert!(
+            !pred.accepts(3, 25.0, Some(ObjectClass::Car)),
+            "outside window"
+        );
+        assert!(
+            !pred.accepts(3, 15.0, Some(ObjectClass::Bus)),
+            "wrong class"
+        );
+        assert!(!pred.accepts(3, 15.0, None), "background patch");
+        // Suv predicates stay strict.
+        assert!(!QueryPredicate::class(ObjectClass::Suv).accepts(0, 0.0, Some(ObjectClass::Car)));
+    }
+
+    #[test]
+    fn predicate_any_is_conjunction_identity() {
+        assert!(QueryPredicate::default().is_any());
+        let pred = QueryPredicate::Any.and(QueryPredicate::videos([7]));
+        assert_eq!(pred, QueryPredicate::Videos(vec![7]));
+        let pred = QueryPredicate::videos([7]).and(QueryPredicate::Any);
+        assert_eq!(pred, QueryPredicate::Videos(vec![7]));
+        assert!(QueryPredicate::And(vec![QueryPredicate::Any]).is_any());
+        assert!(!pred.is_any());
+    }
+
+    #[test]
+    fn predicate_conjunctions_flatten() {
+        let a = QueryPredicate::videos([1]).and(QueryPredicate::time_range(0.0, 1.0));
+        let b = QueryPredicate::class(ObjectClass::Bus).and(QueryPredicate::videos([2]));
+        match a.and(b) {
+            QueryPredicate::And(children) => assert_eq!(children.len(), 4),
+            other => panic!("expected flattened conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_codes_round_trip() {
+        for class in ObjectClass::ALL {
+            assert_eq!(ObjectClass::from_code(class.code()), Some(class));
+        }
+        assert_eq!(ObjectClass::from_code(99), None);
     }
 
     #[test]

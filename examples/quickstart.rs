@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lovo_core::{Lovo, LovoConfig};
-use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+use lovo_core::{Lovo, LovoConfig, QuerySpec};
+use lovo_video::{DatasetConfig, DatasetKind, QueryPredicate, VideoCollection};
 
 fn main() {
     // 1. A video collection. In a real deployment this wraps decoded video;
@@ -42,12 +42,10 @@ fn main() {
         let result = lovo.query(query).expect("query");
         println!("\nquery: {query}");
         println!(
-            "  fast search: {} candidates in {:.4}s, rerank: {} frames in {:.3}s",
-            result.fast_search_candidates,
-            result.timings.fast_search_seconds,
-            result.reranked_frames,
-            result.timings.rerank_seconds
+            "  fast search: {} candidates, rerank: {} frames",
+            result.fast_search_candidates, result.reranked_frames,
         );
+        println!("  stages: {}", result.breakdown());
         for (rank, hit) in result.frames.iter().take(3).enumerate() {
             println!(
                 "  #{rank}: video {} frame {} @ {:.1}s  score {:.3}  box ({:.0},{:.0},{:.0},{:.0})",
@@ -61,5 +59,24 @@ fn main() {
                 hit.bbox.h
             );
         }
+    }
+
+    // 4. Filtered query: the same engine, restricted to a time window — the
+    //    predicate is compiled by the planner and pushed down through the
+    //    storage fan-out into every index scan.
+    let spec = QuerySpec::new("a red car driving in the center of the road")
+        .with_predicate(QueryPredicate::time_range(2.0, 8.0));
+    println!("\nfiltered query plan: {}", lovo.plan(&spec).describe());
+    let result = lovo.query_spec(&spec).expect("filtered query");
+    println!(
+        "  {} candidates (filtered out {} inside the scans)",
+        result.fast_search_candidates, result.search_stats.filtered_out,
+    );
+    println!("  stages: {}", result.breakdown());
+    for (rank, hit) in result.frames.iter().take(3).enumerate() {
+        println!(
+            "  #{rank}: video {} frame {} @ {:.1}s  score {:.3}",
+            hit.video_id, hit.frame_index, hit.timestamp, hit.score,
+        );
     }
 }

@@ -45,6 +45,22 @@ impl<T: SampleUniform> Strategy for Range<T> {
     }
 }
 
+/// `proptest::prelude::any::<T>()` for the types the workspace samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut SmallRng) -> bool {
+        rng.gen_range(0..2u8) == 1
+    }
+}
+
 /// A strategy producing one fixed value, like `proptest::strategy::Just`.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -112,7 +128,7 @@ pub mod prop {
 
 pub mod prelude {
     pub use super::prop;
-    pub use super::{Just, ProptestConfig, Strategy};
+    pub use super::{any, Any, Just, ProptestConfig, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
