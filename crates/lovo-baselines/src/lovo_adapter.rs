@@ -54,7 +54,7 @@ impl ObjectQuerySystem for LovoSystem {
     fn preprocess(&mut self, videos: &VideoCollection) -> PreprocessReport {
         let start = Instant::now();
         let system = Lovo::build(videos, self.config).expect("LOVO build failed");
-        let stats = *system.ingest_stats();
+        let stats = system.ingest_stats();
         self.system = Some(system);
         PreprocessReport {
             wall_seconds: start.elapsed().as_secs_f64(),

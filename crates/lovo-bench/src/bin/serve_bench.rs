@@ -1,0 +1,210 @@
+//! Machine-readable serving-layer benchmark: emits `BENCH_pr5.json`-style
+//! numbers comparing the `lovo-serve` `QueryService` against the same number
+//! of clients calling `Lovo::query_spec` directly, at 1/4/16/64 concurrent
+//! clients, with the micro-batch window on/off and the result cache cold vs
+//! warm.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p lovo-bench --bin serve_bench -- \
+//!     [--frames 240] [--iters 25] [--clients 1,4,16,64] [--out PATH]
+//! ```
+//!
+//! JSON goes to stdout; `--out` additionally writes it to a file. CI runs
+//! this with `--clients 4` and a small `--iters` as a smoke test; the
+//! full-size run is committed as `BENCH_pr5.json`.
+
+use lovo_core::{Lovo, LovoConfig, QuerySpec};
+use lovo_serve::{QueryService, ServeConfig};
+use lovo_video::{DatasetConfig, DatasetKind, ObjectClass, QueryPredicate, VideoCollection};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct LatencyStats {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Runs `clients` threads, each issuing `iters` queries round-robin over the
+/// spec set through `run_query`, and summarizes throughput (whole-run
+/// wall-clock) and the merged per-query latency distribution.
+fn measure<F>(clients: usize, iters: usize, specs: &[QuerySpec], run_query: F) -> LatencyStats
+where
+    F: Fn(&QuerySpec) + Sync,
+{
+    let samples: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * iters));
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let samples = &samples;
+            let run_query = &run_query;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(iters);
+                for i in 0..iters {
+                    let spec = &specs[(client + i) % specs.len()];
+                    let start = Instant::now();
+                    run_query(spec);
+                    local.push(start.elapsed().as_secs_f64() * 1e3);
+                }
+                samples.lock().expect("samples lock").extend(local);
+            });
+        }
+    });
+    let wall = wall_start.elapsed().as_secs_f64();
+    let mut samples = samples.into_inner().expect("samples lock");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    LatencyStats {
+        qps: samples.len() as f64 / wall,
+        p50_ms: percentile(&samples, 0.50),
+        p99_ms: percentile(&samples, 0.99),
+    }
+}
+
+fn json_latency(name: &str, s: &LatencyStats) -> String {
+    format!(
+        "\"{name}\": {{\"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        s.qps, s.p50_ms, s.p99_ms
+    )
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let frames: usize = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(240);
+    let iters: usize = arg_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let clients_list: Vec<usize> = arg_value("--clients")
+        .map(|v| v.split(',').filter_map(|c| c.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 4, 16, 64]);
+    let out = arg_value("--out");
+
+    eprintln!("building engine ({frames} frames/video)...");
+    let videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_frames_per_video(frames)
+            .with_seed(11),
+    );
+    let engine = Arc::new(Lovo::build(&videos, LovoConfig::default()).expect("build engine"));
+
+    // A workload with repetition (the serving case: many users, overlapping
+    // questions): 8 distinct plans including two filtered ones.
+    let specs: Vec<QuerySpec> = vec![
+        QuerySpec::new("a red car driving in the center of the road"),
+        QuerySpec::new("a bus driving on the road"),
+        QuerySpec::new("a person walking on the sidewalk"),
+        QuerySpec::new("a red car side by side with another car"),
+        QuerySpec::new("a car on the road"),
+        QuerySpec::new("a truck on the road"),
+        QuerySpec::new("a bus driving on the road")
+            .with_predicate(QueryPredicate::class(ObjectClass::Bus)),
+        QuerySpec::new("a red car").with_predicate(QueryPredicate::time_range(0.0, 4.0)),
+    ];
+
+    let window = Duration::from_millis(1);
+    let mut sections: Vec<String> = Vec::new();
+    for &clients in &clients_list {
+        eprintln!("clients = {clients}...");
+        let mut rows: Vec<String> = Vec::new();
+
+        // Baseline: every client calls the engine directly.
+        let direct = measure(clients, iters, &specs, |spec| {
+            let result = engine.query_spec(spec).expect("direct query");
+            std::hint::black_box(result.frames.len());
+        });
+        rows.push(json_latency("direct", &direct));
+
+        // Service, no batch window, no cache: pure worker-pool overhead.
+        {
+            let service = QueryService::start(
+                Arc::clone(&engine),
+                ServeConfig::default()
+                    .with_queue_depth(8192)
+                    .with_batch_window(Duration::ZERO)
+                    .with_cache_capacity(0)
+                    .with_maintenance_interval(None),
+            )
+            .expect("start service");
+            let stats = measure(clients, iters, &specs, |spec| {
+                let served = service.submit(spec.clone()).expect("submit");
+                std::hint::black_box(served.result.frames.len());
+            });
+            rows.push(json_latency("serve_nobatch_cold", &stats));
+        }
+
+        // Service, micro-batching on, cache off: coalescing only.
+        {
+            let service = QueryService::start(
+                Arc::clone(&engine),
+                ServeConfig::default()
+                    .with_queue_depth(8192)
+                    .with_batch_window(window)
+                    .with_cache_capacity(0)
+                    .with_maintenance_interval(None),
+            )
+            .expect("start service");
+            let stats = measure(clients, iters, &specs, |spec| {
+                let served = service.submit(spec.clone()).expect("submit");
+                std::hint::black_box(served.result.frames.len());
+            });
+            rows.push(json_latency("serve_batch_cold", &stats));
+        }
+
+        // Service, micro-batching on, cache pre-warmed: the steady state of
+        // repeated traffic over an unchanged collection.
+        {
+            let service = QueryService::start(
+                Arc::clone(&engine),
+                ServeConfig::default()
+                    .with_queue_depth(8192)
+                    .with_batch_window(window)
+                    .with_maintenance_interval(None),
+            )
+            .expect("start service");
+            for spec in &specs {
+                service.submit(spec.clone()).expect("warm cache");
+            }
+            let stats = measure(clients, iters, &specs, |spec| {
+                let served = service.submit(spec.clone()).expect("submit");
+                std::hint::black_box(served.result.frames.len());
+            });
+            rows.push(json_latency("serve_batch_warm", &stats));
+        }
+
+        sections.push(format!(
+            "  \"clients_{clients}\": {{\n    {}\n  }}",
+            rows.join(",\n    ")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"frames_per_video\": {frames},\n  \
+         \"iters_per_client\": {iters},\n  \"distinct_plans\": {},\n  \
+         \"batch_window_ms\": {},\n{}\n}}",
+        specs.len(),
+        window.as_secs_f64() * 1e3,
+        sections.join(",\n")
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+}

@@ -15,11 +15,18 @@ use lovo_index::SearchStats;
 use lovo_store::VectorDatabase;
 use lovo_video::bbox::BoundingBox;
 use lovo_video::VideoCollection;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 /// Wall-clock timings of one query, split by stage (Fig. 9 reports these).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct QueryTimings {
+    /// Serve-side wait seconds: time the query spent in a serving layer's
+    /// admission queue plus its micro-batch coalescing window before the
+    /// engine started executing. Always zero when the engine is called
+    /// directly; `lovo-serve` stamps it so queue/batch latency is
+    /// distinguishable from engine time in [`QueryResult::breakdown`].
+    pub queue_seconds: f64,
     /// Text encoding seconds.
     pub text_encoding_seconds: f64,
     /// Predicate-pushdown seconds: compiling the metadata predicate into the
@@ -33,12 +40,18 @@ pub struct QueryTimings {
 }
 
 impl QueryTimings {
-    /// Total user-perceived search latency.
+    /// Total user-perceived search latency (including any serve-side wait).
     pub fn total_seconds(&self) -> f64 {
-        self.text_encoding_seconds
+        self.queue_seconds
+            + self.text_encoding_seconds
             + self.prune_seconds
             + self.fast_search_seconds
             + self.rerank_seconds
+    }
+
+    /// Serve-side wait (queue + batch window) in milliseconds.
+    pub fn wait_ms(&self) -> f64 {
+        self.queue_seconds * 1e3
     }
 
     /// Text-encoding stage in milliseconds.
@@ -99,12 +112,15 @@ pub struct QueryResult {
 
 impl QueryResult {
     /// One-line per-stage latency breakdown, e.g.
-    /// `encode 0.12ms | prune 0.00ms | coarse 1.40ms | rerank 3.25ms |
-    /// segments 1 pruned / 3 probed`.
+    /// `wait 0.40ms | encode 0.12ms | prune 0.00ms | coarse 1.40ms |
+    /// rerank 3.25ms | segments 1 pruned / 3 probed`. The leading `wait` is
+    /// the serve-side queue + batch-window latency — zero unless the query
+    /// went through a serving layer such as `lovo-serve`.
     pub fn breakdown(&self) -> String {
         format!(
-            "encode {:.2}ms | prune {:.2}ms | coarse {:.2}ms | rerank {:.2}ms | \
+            "wait {:.2}ms | encode {:.2}ms | prune {:.2}ms | coarse {:.2}ms | rerank {:.2}ms | \
              segments {} pruned / {} probed",
+            self.timings.wait_ms(),
             self.timings.encode_ms(),
             self.timings.prune_ms(),
             self.timings.coarse_ms(),
@@ -117,19 +133,30 @@ impl QueryResult {
 
 /// The LOVO system: built over an initial video collection, extended with
 /// [`Lovo::add_videos`] as new footage arrives, queried many times.
+///
+/// Every method takes `&self`: queries, incremental ingest, and compaction
+/// are all safe to call concurrently from many threads (e.g. through an
+/// `Arc<Lovo>` owned by a serving layer). Mutable ingest state lives behind
+/// internal locks; the vector database has always been internally
+/// synchronized.
 pub struct Lovo {
     pub(crate) config: LovoConfig,
     pub(crate) database: VectorDatabase,
-    pub(crate) keyframes: KeyframeMap,
+    /// Key frames retained for the rerank stage. Writers (ingest) merge an
+    /// already-built batch map in one short critical section, so query
+    /// readers never wait behind encoding work.
+    pub(crate) keyframes: RwLock<KeyframeMap>,
     pub(crate) text_encoder: TextEncoder,
     pub(crate) rerank: CrossModalityTransformer,
     planner: QueryPlanner,
     summarizer: VideoSummarizer,
     /// Cumulative statistics across the initial build and every append.
-    ingest_stats: IngestStats,
+    ingest_stats: Mutex<IngestStats>,
     /// Video ids already ingested; appends of the same id are rejected
-    /// because their patch ids would collide.
-    ingested_videos: std::collections::HashSet<u32>,
+    /// because their patch ids would collide. Ids are reserved atomically per
+    /// batch, which also serializes duplicate detection between concurrent
+    /// appends.
+    ingested_videos: Mutex<std::collections::HashSet<u32>>,
 }
 
 impl Lovo {
@@ -146,12 +173,12 @@ impl Lovo {
             text_encoder: TextEncoder::new(config.text)?,
             rerank: CrossModalityTransformer::new(config.cross_modality)?,
             planner: QueryPlanner::new(config),
-            ingested_videos,
+            ingested_videos: Mutex::new(ingested_videos),
             summarizer,
             config,
             database,
-            keyframes,
-            ingest_stats,
+            keyframes: RwLock::new(keyframes),
+            ingest_stats: Mutex::new(ingest_stats),
         })
     }
 
@@ -160,17 +187,40 @@ impl Lovo {
     /// segment(s), and seals — existing sealed segments are never rebuilt, so
     /// append cost is proportional to the batch, not the collection. Returns
     /// this run's statistics; [`Lovo::ingest_stats`] keeps the running total.
-    pub fn add_videos(&mut self, videos: &VideoCollection) -> Result<IngestStats> {
-        let batch_ids = unique_video_ids(videos, &self.ingested_videos)?;
+    ///
+    /// Safe to call concurrently with queries (and with other appends —
+    /// batches land in the shared growing segment in arrival order). A query
+    /// racing an append may observe the batch's vectors a moment before its
+    /// key frames are merged; such frames are skipped from that query's
+    /// results. The ingest epoch is bumped once more *after* the key frames
+    /// merge, so an epoch-keyed result cache cannot keep serving a result
+    /// computed inside that window.
+    pub fn add_videos(&self, videos: &VideoCollection) -> Result<IngestStats> {
         // Reserve the ids before ingesting: a mid-run failure can leave part
         // of the batch in the store, and a retry under the same ids would
         // silently collide patch ids. A failed batch's ids stay reserved —
-        // re-submit the footage under fresh ids.
-        self.ingested_videos.extend(batch_ids);
+        // re-submit the footage under fresh ids. The single lock scope makes
+        // reservation atomic between concurrent appends.
+        {
+            let mut ingested = self.ingested_videos.lock();
+            let batch_ids = unique_video_ids(videos, &ingested)?;
+            ingested.extend(batch_ids);
+        }
+        // Encode into a batch-local key-frame map so the shared map's write
+        // lock is held only for the final merge, not the (expensive)
+        // encoding — queries keep reranking against the pre-append map while
+        // the batch encodes.
+        let mut batch_keyframes = KeyframeMap::new();
         let run = self
             .summarizer
-            .ingest_into(videos, &self.database, &mut self.keyframes)?;
-        self.ingest_stats.accumulate(&run);
+            .ingest_into(videos, &self.database, &mut batch_keyframes)?;
+        self.keyframes.write().extend(batch_keyframes);
+        // The batch's vectors became searchable (and bumped the epoch)
+        // before its key frames merged; a result computed in that window is
+        // missing the new frames. One more bump now marks any such result
+        // stale for epoch-keyed caches.
+        self.database.touch_collection(PATCH_COLLECTION)?;
+        self.ingest_stats.lock().accumulate(&run);
         Ok(run)
     }
 
@@ -180,15 +230,34 @@ impl Lovo {
         Ok(self.database.compact_collection(PATCH_COLLECTION)?)
     }
 
+    /// Seals the patch collection's growing segment (builds its ANN index),
+    /// leaving a fresh empty buffer. No-op when nothing is buffered. Ingest
+    /// seals after every batch, so this mainly serves background maintenance
+    /// (e.g. `lovo-serve`) mopping up rows left by direct database writes.
+    pub fn seal(&self) -> Result<()> {
+        Ok(self.database.seal_collection(PATCH_COLLECTION)?)
+    }
+
     /// The system configuration.
     pub fn config(&self) -> &LovoConfig {
         &self.config
     }
 
     /// Cumulative statistics of the video-summary / indexing phase across the
-    /// initial build and every incremental append.
-    pub fn ingest_stats(&self) -> &IngestStats {
-        &self.ingest_stats
+    /// initial build and every incremental append (a snapshot — appends
+    /// running on other threads keep accumulating).
+    pub fn ingest_stats(&self) -> IngestStats {
+        *self.ingest_stats.lock()
+    }
+
+    /// The ingest epoch of the patch collection: a monotonically increasing
+    /// counter bumped by every content mutation (insert, seal, compaction).
+    /// Result caches key their invalidation off this — an entry computed at
+    /// epoch `e` is served only while `ingest_epoch()` still returns `e`.
+    pub fn ingest_epoch(&self) -> u64 {
+        self.database
+            .collection_generation(PATCH_COLLECTION)
+            .unwrap_or(0)
     }
 
     /// Storage statistics of the patch collection (segment counts, build
@@ -258,6 +327,14 @@ impl Lovo {
     pub fn query_batch(&self, specs: &[QuerySpec]) -> Result<Vec<QueryResult>> {
         let plans: Vec<QueryPlan> = specs.iter().map(|spec| self.planner.plan(spec)).collect();
         exec::execute_batch(self, &plans)
+    }
+
+    /// Executes a batch of already-compiled plans — [`Lovo::query_batch`]
+    /// without the planning step. Serving layers that plan once per
+    /// submission (to fingerprint it for their result cache) hand the same
+    /// plans straight to execution here instead of re-planning.
+    pub fn query_plans(&self, plans: &[QueryPlan]) -> Result<Vec<QueryResult>> {
+        exec::execute_batch(self, plans)
     }
 }
 
@@ -414,7 +491,7 @@ mod tests {
     #[test]
     fn add_videos_appends_without_rebuilding_sealed_segments() {
         let first = bellevue(240);
-        let mut lovo = Lovo::build(&first, LovoConfig::default()).unwrap();
+        let lovo = Lovo::build(&first, LovoConfig::default()).unwrap();
         let stats_after_build = lovo.collection_stats();
         let patches_after_build = lovo.indexed_patches();
         assert!(stats_after_build.index_builds >= 1);
@@ -462,7 +539,7 @@ mod tests {
         combined.videos.extend(second.videos.iter().cloned());
 
         let config = LovoConfig::ablation_without_anns();
-        let mut incremental = Lovo::build(&first, config).unwrap();
+        let incremental = Lovo::build(&first, config).unwrap();
         incremental.add_videos(&second).unwrap();
         let scratch = Lovo::build(&combined, config).unwrap();
 
@@ -486,7 +563,7 @@ mod tests {
     #[test]
     fn duplicate_video_ids_are_rejected_on_append() {
         let videos = bellevue(120);
-        let mut lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
         let err = lovo.add_videos(&videos).unwrap_err();
         assert!(err.to_string().contains("already ingested"), "{err}");
     }
@@ -494,7 +571,7 @@ mod tests {
     #[test]
     fn duplicate_video_ids_within_one_batch_are_rejected() {
         let videos = bellevue(120);
-        let mut lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
+        let lovo = Lovo::build(&videos, LovoConfig::default()).unwrap();
         // A batch whose videos share one id: every patch id would collide.
         let mut batch = bellevue_batch(60, 19, videos.videos.len() as u32);
         let clone = batch.videos[0].clone();
@@ -532,7 +609,7 @@ mod tests {
     #[test]
     fn compaction_after_many_appends_narrows_fanout() {
         let first = bellevue(150);
-        let mut lovo = Lovo::build(&first, LovoConfig::default()).unwrap();
+        let lovo = Lovo::build(&first, LovoConfig::default()).unwrap();
         let mut offset = first.videos.len() as u32;
         for seed in [41u64, 43, 47] {
             let batch = bellevue_batch(150, seed, offset);

@@ -3,7 +3,7 @@
 //!
 //! One implementation serves every entry point — `Lovo::query`,
 //! `Lovo::query_with_k`, `Lovo::query_spec` and `Lovo::query_batch` are all
-//! thin wrappers over [`execute_batch`]. The stages mirror
+//! thin wrappers over the crate-private `execute_batch`. The stages mirror
 //! [`crate::planner::PlanStage`]:
 //!
 //! 1. **encode** — every text in the batch is encoded up front;
@@ -169,12 +169,16 @@ fn finish(
         frame_order.truncate(plan.rerank_frames);
     }
 
+    // Hold the key-frame read lock across the rerank: candidates borrow
+    // frames straight from the shared map. Readers never block each other;
+    // ingest merges (the only writers) are short.
+    let keyframes = lovo.keyframes.read();
     let rerank_start = Instant::now();
     let frames = if plan.enable_rerank {
         let candidates: Vec<CandidateFrame<'_>> = frame_order
             .iter()
             .filter_map(|key| {
-                lovo.keyframes.get(key).map(|frame| CandidateFrame {
+                keyframes.get(key).map(|frame| CandidateFrame {
                     video_id: key.0,
                     frame,
                     seed_box: best_per_frame.get(key).map(|(_, b)| *b),
@@ -196,23 +200,21 @@ fn finish(
             })
             .collect()
     } else {
-        // Ablation: return the fast-search frame order directly.
+        // Ablation: return the fast-search frame order directly. Frames
+        // whose key frame is not in the map (a query racing an append, see
+        // `Lovo::add_videos`) are skipped here exactly as the rerank path
+        // skips them — not emitted with a fabricated timestamp.
         let mut ranked: Vec<RankedObject> = frame_order
             .iter()
-            .map(|key| {
+            .filter_map(|key| {
                 let (score, bbox) = best_per_frame[key];
-                let timestamp = lovo
-                    .keyframes
-                    .get(key)
-                    .map(|f| f.timestamp)
-                    .unwrap_or_default();
-                RankedObject {
+                keyframes.get(key).map(|frame| RankedObject {
                     video_id: key.0,
                     frame_index: key.1,
-                    timestamp,
+                    timestamp: frame.timestamp,
                     score,
                     bbox,
-                }
+                })
             })
             .collect();
         ranked.sort_by(|a, b| {

@@ -36,6 +36,8 @@
 //! assert!(result.frames.len() <= lovo.config().output_frames);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod engine;
 pub mod exec;
@@ -46,6 +48,11 @@ pub use config::LovoConfig;
 pub use engine::{Lovo, QueryResult, QueryTimings, RankedObject};
 pub use planner::{PlanStage, QueryPlan, QueryPlanner, QuerySpec};
 pub use summary::{IngestStats, VideoSummarizer};
+
+// The compiled storage-level predicate is a public field of `QueryPlan`;
+// re-exported so plan consumers (e.g. `lovo-serve`) need not depend on
+// `lovo-store` directly.
+pub use lovo_store::PatchPredicate;
 
 /// Errors surfaced by the LOVO system.
 #[derive(Debug)]

@@ -110,6 +110,33 @@ impl QueryPlan {
         !self.patch_predicate.is_unconstrained() || self.provably_empty
     }
 
+    /// A 64-bit fingerprint of everything that determines this plan's result:
+    /// the query text, the effective fast-search `k`, the rerank/output
+    /// budgets, and the *compiled* (flattened) predicate — so two specs whose
+    /// predicate ASTs differ syntactically but compile to the same
+    /// conjunction (e.g. `videos([1,2]) AND videos([2,3])` vs `videos([2])`)
+    /// fingerprint identically. Result caches key on this plus an ingest
+    /// epoch. Fingerprints are stable within a process but not across
+    /// processes or versions — never persist them.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.text.hash(&mut hasher);
+        self.fast_search_k.hash(&mut hasher);
+        self.enable_rerank.hash(&mut hasher);
+        self.rerank_frames.hash(&mut hasher);
+        self.output_frames.hash(&mut hasher);
+        self.provably_empty.hash(&mut hasher);
+        self.patch_predicate.video_ids.hash(&mut hasher);
+        // f64 is not Hash; bit patterns are exact and deterministic.
+        self.patch_predicate
+            .time_range
+            .map(|(lo, hi)| (lo.to_bits(), hi.to_bits()))
+            .hash(&mut hasher);
+        self.patch_predicate.class_codes.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// The stages this plan executes, in order. Unconstrained plans skip
     /// `prune`; rerank-ablated plans skip `rerank`.
     pub fn stages(&self) -> Vec<PlanStage> {
@@ -341,6 +368,32 @@ mod tests {
         let no_videos =
             planner.plan(&QuerySpec::new("q").with_predicate(QueryPredicate::videos([])));
         assert!(no_videos.provably_empty);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_normalizes_predicates() {
+        let planner = planner();
+        let base = planner.plan(&QuerySpec::new("a red car"));
+        assert_eq!(base.fingerprint(), base.fingerprint());
+
+        // Syntactically different predicates that flatten to the same
+        // conjunction share a fingerprint.
+        let folded = planner
+            .plan(&QuerySpec::new("a red car").with_predicate(
+                QueryPredicate::videos([1, 2]).and(QueryPredicate::videos([2, 3])),
+            ));
+        let direct =
+            planner.plan(&QuerySpec::new("a red car").with_predicate(QueryPredicate::videos([2])));
+        assert_eq!(folded.fingerprint(), direct.fingerprint());
+
+        // Anything result-relevant separates fingerprints.
+        let other_text = planner.plan(&QuerySpec::new("a blue car"));
+        let other_k = planner.plan(&QuerySpec::new("a red car").with_k(10));
+        let other_pred =
+            planner.plan(&QuerySpec::new("a red car").with_predicate(QueryPredicate::videos([7])));
+        assert_ne!(base.fingerprint(), other_text.fingerprint());
+        assert_ne!(base.fingerprint(), other_k.fingerprint());
+        assert_ne!(base.fingerprint(), other_pred.fingerprint());
     }
 
     #[test]

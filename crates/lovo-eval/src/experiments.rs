@@ -684,8 +684,8 @@ pub fn incremental_ingest(scale: f64) -> Report {
     let base = DatasetConfig::for_kind(DatasetKind::Bellevue).with_frames_per_video(frames);
 
     let first = VideoCollection::generate(base.clone().with_seed(101));
-    let mut engine = Lovo::build(&first, config).expect("initial build");
-    let initial = *engine.ingest_stats();
+    let engine = Lovo::build(&first, config).expect("initial build");
+    let initial = engine.ingest_stats();
     let stats = engine.collection_stats();
     report.push_row(
         "initial build",

@@ -25,6 +25,8 @@
 //! (`lovo-store`) and LOVO itself can switch between them (the Table V
 //! experiment does exactly that).
 
+#![warn(missing_docs)]
+
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;
@@ -242,6 +244,23 @@ impl<P: Copy> PartialOrd for Worst<P> {
 /// score descending with ties broken by ascending id — the crate's
 /// determinism contract — which the property tests in
 /// `tests/hot_path_properties.rs` assert exhaustively.
+///
+/// ```
+/// use lovo_index::TopK;
+///
+/// let mut top = TopK::new(2);
+/// for (id, score) in [(4u64, 0.3f32), (3, 0.9), (2, 0.5), (1, 0.9)] {
+///     top.push_hit(id, score);
+/// }
+/// assert_eq!(top.pushes(), 4);
+/// let best: Vec<(u64, f32)> = top
+///     .into_sorted_results()
+///     .into_iter()
+///     .map(|hit| (hit.id, hit.score))
+///     .collect();
+/// // Best-first; the 0.9 tie breaks toward the smaller id.
+/// assert_eq!(best, vec![(1, 0.9), (3, 0.9)]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct TopK<P: Copy = ()> {
     k: usize,

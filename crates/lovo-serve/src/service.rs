@@ -1,0 +1,711 @@
+//! The query service: admission-controlled worker pool, micro-batch
+//! coalescing, result caching, and background maintenance.
+
+use crate::cache::ResultCache;
+use crate::{Result, ServeConfig, ServeError};
+use lovo_core::{Lovo, QueryPlan, QueryResult, QuerySpec};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One answered submission.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The query result. `result.timings.queue_seconds` carries this
+    /// submission's serve-side wait (admission queue + batch window); for a
+    /// cache hit the remaining stage timings are those of the execution that
+    /// originally filled the entry.
+    pub result: QueryResult,
+    /// True when the result came from the plan-keyed cache (no engine work).
+    pub cache_hit: bool,
+    /// Number of *other* submissions answered by the same engine pass —
+    /// nonzero only when micro-batching coalesced concurrent arrivals.
+    /// Zero for cache hits and solo executions.
+    pub coalesced_with: usize,
+}
+
+/// Point-in-time service counters (all lifetime totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Submissions accepted (queued or served from cache).
+    pub submitted: u64,
+    /// Submissions refused with [`ServeError::Rejected`].
+    pub rejected: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Entries evicted because their ingest epoch went stale.
+    pub cache_stale_evictions: u64,
+    /// Engine passes executed (each covers one micro-batch).
+    pub engine_batches: u64,
+    /// Distinct plans executed by the engine across all passes.
+    pub engine_queries: u64,
+    /// Submissions that shared an engine pass with at least one other
+    /// submission (batched or deduplicated against an identical plan).
+    pub coalesced: u64,
+    /// Engine passes that panicked. The worker survives (its batch's waiters
+    /// see [`ServeError::WorkerLost`]); a nonzero value here means the
+    /// engine has a bug worth investigating.
+    pub worker_panics: u64,
+    /// Maintenance ticks run.
+    pub maintenance_ticks: u64,
+    /// Growing-segment seals performed by maintenance.
+    pub maintenance_seals: u64,
+    /// Sealed segments merged away by maintenance compaction.
+    pub maintenance_segments_merged: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    engine_batches: AtomicU64,
+    engine_queries: AtomicU64,
+    coalesced: AtomicU64,
+    worker_panics: AtomicU64,
+    maintenance_ticks: AtomicU64,
+    maintenance_seals: AtomicU64,
+    maintenance_segments_merged: AtomicU64,
+}
+
+/// One queued submission: its compiled plan, cache identity, arrival time,
+/// and the channel its waiter blocks on.
+struct Pending {
+    plan: QueryPlan,
+    fingerprint: u64,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Served>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    engine: Arc<Lovo>,
+    config: ServeConfig,
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+    cache: ResultCache,
+    counters: Counters,
+}
+
+impl Shared {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A concurrent query front end over an [`Arc<Lovo>`] engine.
+///
+/// Submissions go through [`QueryService::submit`]; the service owns its
+/// worker threads (and optionally a maintenance thread) and joins them on
+/// drop, draining any queued submissions first. See the crate docs for the
+/// serving model and a usage example.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    maintenance: Option<MaintenanceHandle>,
+}
+
+struct MaintenanceHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl QueryService {
+    /// Starts the service: spawns the worker pool (and the maintenance
+    /// thread when configured) over the shared engine. Fails on an invalid
+    /// configuration.
+    pub fn start(engine: Arc<Lovo>, config: ServeConfig) -> Result<Self> {
+        config.validate().map_err(ServeError::Engine)?;
+        let shared = Arc::new(Shared {
+            cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            engine: Arc::clone(&engine),
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lovo-serve-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let maintenance = config.maintenance_interval.map(|interval| {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let thread = {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name("lovo-serve-maintenance".into())
+                    .spawn(move || maintenance_loop(&shared, &stop, interval))
+                    .expect("spawn maintenance thread")
+            };
+            MaintenanceHandle { stop, thread }
+        });
+        Ok(Self {
+            shared,
+            workers,
+            maintenance,
+        })
+    }
+
+    /// Submits one query and blocks until it is answered.
+    ///
+    /// The spec is compiled once (yielding the cache fingerprint); a fresh
+    /// cache hit returns without touching the queue. Otherwise the
+    /// submission must clear admission control — a full queue returns
+    /// [`ServeError::Rejected`] immediately — and is then picked up by a
+    /// worker, possibly coalesced with concurrent submissions into one
+    /// engine pass. The returned [`Served`] says which path answered it.
+    ///
+    /// ```
+    /// use lovo_core::{Lovo, LovoConfig, QuerySpec};
+    /// use lovo_serve::{QueryService, ServeConfig};
+    /// use lovo_video::{DatasetConfig, DatasetKind, QueryPredicate, VideoCollection};
+    /// use std::sync::Arc;
+    ///
+    /// let videos = VideoCollection::generate(
+    ///     DatasetConfig::for_kind(DatasetKind::Bellevue).with_frames_per_video(60),
+    /// );
+    /// let engine = Arc::new(Lovo::build(&videos, LovoConfig::default()).unwrap());
+    /// let service = QueryService::start(engine, ServeConfig::default()).unwrap();
+    ///
+    /// // Predicates ride along: this searches only video 0's footage.
+    /// let spec = QuerySpec::new("a bus driving on the road")
+    ///     .with_predicate(QueryPredicate::videos([0]));
+    /// let served = service.submit(spec).unwrap();
+    /// assert!(served.result.frames.iter().all(|frame| frame.video_id == 0));
+    /// // The serve-side wait is stamped into the timings breakdown.
+    /// assert!(served.result.breakdown().starts_with("wait"));
+    /// ```
+    pub fn submit(&self, spec: QuerySpec) -> Result<Served> {
+        let submitted = Instant::now();
+        let plan = self.shared.engine.plan(&spec);
+        let fingerprint = plan.fingerprint();
+        let epoch = self.shared.engine.ingest_epoch();
+        if let Some(mut result) = self.shared.cache.get(fingerprint, &plan, epoch) {
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .counters
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            result.timings.queue_seconds = submitted.elapsed().as_secs_f64();
+            return Ok(Served {
+                result,
+                cache_hit: true,
+                coalesced_with: 0,
+            });
+        }
+
+        let (reply, response) = mpsc::channel();
+        {
+            let mut state = self.shared.lock_state();
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.config.queue_depth {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Rejected {
+                    queue_depth: self.shared.config.queue_depth,
+                });
+            }
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+            state.queue.push_back(Pending {
+                plan,
+                fingerprint,
+                enqueued: submitted,
+                reply,
+            });
+        }
+        self.shared.work_ready.notify_one();
+        response.recv().map_err(|_| ServeError::WorkerLost)?
+    }
+
+    /// The engine this service fronts.
+    pub fn engine(&self) -> &Arc<Lovo> {
+        &self.shared.engine
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// A snapshot of the lifetime service counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_stale_evictions: self.shared.cache.stale_evictions(),
+            engine_batches: c.engine_batches.load(Ordering::Relaxed),
+            engine_queries: c.engine_queries.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            maintenance_ticks: c.maintenance_ticks.load(Ordering::Relaxed),
+            maintenance_seals: c.maintenance_seals.load(Ordering::Relaxed),
+            maintenance_segments_merged: c.maintenance_segments_merged.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently in the result cache.
+    pub fn cached_results(&self) -> usize {
+        self.shared.cache.len()
+    }
+}
+
+impl Drop for QueryService {
+    /// Graceful shutdown: stop admitting, let the workers drain every queued
+    /// submission, then join all service-owned threads.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.lock_state();
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(maintenance) = self.maintenance.take() {
+            {
+                let (flag, signal) = &*maintenance.stop;
+                *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                signal.notify_all();
+            }
+            let _ = maintenance.thread.join();
+        }
+    }
+}
+
+/// Worker body: wait for work, assemble a micro-batch, execute, fan out.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = match next_batch(shared) {
+            Some(batch) => batch,
+            None => return, // shutdown with an empty queue
+        };
+        // A panicking engine pass must not kill the worker: the pool is
+        // fixed-size, so a dead worker would (once all are dead) leave
+        // queued waiters blocked forever. Catching the unwind drops the
+        // batch's un-replied senders — those waiters get `WorkerLost` — and
+        // the worker lives on to serve the next batch.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(shared, batch)
+        }));
+        if outcome.is_err() {
+            shared
+                .counters
+                .worker_panics
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Blocks until at least one submission is available, then keeps the batch
+/// open for the configured window (or until `max_batch`) so concurrent
+/// arrivals coalesce. Returns `None` on shutdown once the queue is empty —
+/// queued submissions are always drained before workers exit.
+fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
+    let mut state = shared.lock_state();
+    loop {
+        if let Some(first) = state.queue.pop_front() {
+            let mut batch = vec![first];
+            let window = shared.config.batch_window;
+            let max_batch = shared.config.max_batch;
+            if !window.is_zero() && max_batch > 1 {
+                let deadline = Instant::now() + window;
+                loop {
+                    while batch.len() < max_batch {
+                        match state.queue.pop_front() {
+                            Some(pending) => batch.push(pending),
+                            None => break,
+                        }
+                    }
+                    if batch.len() >= max_batch || state.shutdown {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, _) = shared
+                        .work_ready
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = next;
+                }
+            }
+            return Some(batch);
+        }
+        if state.shutdown {
+            return None;
+        }
+        state = shared
+            .work_ready
+            .wait(state)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Executes one micro-batch: dedupes identical plans, re-checks the cache,
+/// runs the distinct remainder as one engine pass, fills the cache, and
+/// replies to every waiter with its own wait time stamped in.
+fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
+    // The epoch is read BEFORE executing: a mutation that lands mid-pass
+    // bumps the live epoch past this stamp, so the entries filled below are
+    // already stale for later lookups — conservative, never wrong.
+    let epoch = shared.engine.ingest_epoch();
+
+    // Group submissions by fingerprint; each group executes (or hits) once.
+    let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+    for pending in batch {
+        match groups.iter_mut().find(|(fingerprint, members)| {
+            *fingerprint == pending.fingerprint && members[0].plan == pending.plan
+        }) {
+            Some((_, members)) => members.push(pending),
+            None => groups.push((pending.fingerprint, vec![pending])),
+        }
+    }
+
+    // Re-check the cache per group: another worker (or an earlier batch of
+    // this one) may have filled the entry while we waited in the window.
+    let mut run: Vec<(u64, Vec<Pending>)> = Vec::new();
+    for (fingerprint, members) in groups {
+        match shared.cache.get(fingerprint, &members[0].plan, epoch) {
+            Some(result) => {
+                shared
+                    .counters
+                    .cache_hits
+                    .fetch_add(members.len() as u64, Ordering::Relaxed);
+                reply_all(members, &result, true, 0);
+            }
+            None => run.push((fingerprint, members)),
+        }
+    }
+    if run.is_empty() {
+        return;
+    }
+
+    let plans: Vec<QueryPlan> = run
+        .iter()
+        .map(|(_, members)| members[0].plan.clone())
+        .collect();
+    shared
+        .counters
+        .engine_batches
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .engine_queries
+        .fetch_add(plans.len() as u64, Ordering::Relaxed);
+    // Only submissions the engine pass actually answers count as coalesced —
+    // group members peeled off by the cache re-check above do not.
+    let executed: usize = run.iter().map(|(_, members)| members.len()).sum();
+    if executed > 1 {
+        shared
+            .counters
+            .coalesced
+            .fetch_add(executed as u64, Ordering::Relaxed);
+    }
+
+    match shared.engine.query_plans(&plans) {
+        Ok(results) => {
+            for ((fingerprint, members), result) in run.into_iter().zip(results) {
+                shared
+                    .cache
+                    .put(fingerprint, &members[0].plan, epoch, result.clone());
+                reply_all(members, &result, false, executed - 1);
+            }
+        }
+        Err(error) => {
+            let message = error.to_string();
+            for (_, members) in run {
+                for pending in members {
+                    let _ = pending.reply.send(Err(ServeError::Engine(message.clone())));
+                }
+            }
+        }
+    }
+}
+
+/// Sends one group's shared result to every waiter, stamping each copy with
+/// that submission's own queue + batch-window wait.
+fn reply_all(members: Vec<Pending>, result: &QueryResult, cache_hit: bool, coalesced_with: usize) {
+    for pending in members {
+        let mut copy = result.clone();
+        copy.timings.queue_seconds = pending.enqueued.elapsed().as_secs_f64();
+        // A waiter that gave up (dropped its receiver) is not an error.
+        let _ = pending.reply.send(Ok(Served {
+            result: copy,
+            cache_hit,
+            coalesced_with,
+        }));
+    }
+}
+
+/// Maintenance body: on every tick, seal left-over growing rows (only past
+/// the configured floor — ingest seals its own batches) and merge undersized
+/// sealed segments, both off the query path.
+fn maintenance_loop(shared: &Shared, stop: &(Mutex<bool>, Condvar), interval: Duration) {
+    let (flag, signal) = stop;
+    let mut stopped = flag.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        let (next, _) = signal
+            .wait_timeout(stopped, interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        stopped = next;
+        if *stopped {
+            return;
+        }
+        shared
+            .counters
+            .maintenance_ticks
+            .fetch_add(1, Ordering::Relaxed);
+        let stats = shared.engine.collection_stats();
+        if stats.growing_rows >= shared.config.maintenance_seal_min_rows
+            && shared.engine.seal().is_ok()
+        {
+            shared
+                .counters
+                .maintenance_seals
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if let Ok(result) = shared.engine.compact() {
+            if result.segments_merged > 0 {
+                shared
+                    .counters
+                    .maintenance_segments_merged
+                    .fetch_add(result.segments_merged as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lovo_core::LovoConfig;
+    use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+
+    fn engine(frames: usize) -> Arc<Lovo> {
+        let videos = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_frames_per_video(frames)
+                .with_seed(7),
+        );
+        Arc::new(Lovo::build(&videos, LovoConfig::default()).expect("build engine"))
+    }
+
+    #[test]
+    fn submit_executes_then_caches() {
+        let service = QueryService::start(engine(90), ServeConfig::default()).unwrap();
+        let spec = QuerySpec::new("a red car driving in the center of the road");
+        let first = service.submit(spec.clone()).unwrap();
+        assert!(!first.cache_hit);
+        assert!(!first.result.frames.is_empty());
+        assert!(first.result.timings.queue_seconds >= 0.0);
+        let second = service.submit(spec).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.result.frames, first.result.frames);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.engine_queries, 1);
+        assert_eq!(service.cached_results(), 1);
+    }
+
+    #[test]
+    fn specs_normalizing_to_one_plan_share_a_cache_entry() {
+        use lovo_video::QueryPredicate;
+        let service = QueryService::start(engine(90), ServeConfig::default()).unwrap();
+        let folded = QuerySpec::new("a bus")
+            .with_predicate(QueryPredicate::videos([0, 1]).and(QueryPredicate::videos([1, 2])));
+        let direct = QuerySpec::new("a bus").with_predicate(QueryPredicate::videos([1]));
+        let miss = service.submit(folded).unwrap();
+        assert!(!miss.cache_hit);
+        let hit = service.submit(direct).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.result.frames, miss.result.frames);
+    }
+
+    #[test]
+    fn ingest_invalidates_cached_results() {
+        // Maintenance off: a background compaction after the append would
+        // bump the epoch a second time between the assertions below.
+        let service = QueryService::start(
+            engine(90),
+            ServeConfig::default().with_maintenance_interval(None),
+        )
+        .unwrap();
+        let spec = QuerySpec::new("a red car on the road");
+        assert!(!service.submit(spec.clone()).unwrap().cache_hit);
+        assert!(service.submit(spec.clone()).unwrap().cache_hit);
+
+        let mut batch = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_frames_per_video(90)
+                .with_seed(23),
+        );
+        for video in &mut batch.videos {
+            video.id += 1000;
+        }
+        service.engine().add_videos(&batch).unwrap();
+
+        // The epoch moved: the next submission recomputes, then re-caches.
+        let recomputed = service.submit(spec.clone()).unwrap();
+        assert!(!recomputed.cache_hit);
+        assert!(service.submit(spec).unwrap().cache_hit);
+        assert!(service.stats().cache_stale_evictions >= 1);
+    }
+
+    #[test]
+    fn overload_returns_typed_rejection() {
+        // One worker, one-query batches, depth-1 queue. The throttle is the
+        // engine itself: a query costs milliseconds while the 8 submissions
+        // below arrive within microseconds of each other, so the queue is
+        // full for all but the first couple and the rest must be refused.
+        // (Note `max_batch = 1` disables the coalescing window entirely —
+        // the worker serves strictly one query at a time.)
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(1)
+            .with_max_batch(1)
+            .with_cache_capacity(0)
+            .with_maintenance_interval(None);
+        let service = QueryService::start(engine(90), config).unwrap();
+        let rejected = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let service = &service;
+                let rejected = &rejected;
+                scope.spawn(move || {
+                    match service.submit(QuerySpec::new(format!("a car number {worker}"))) {
+                        Ok(_) => {}
+                        Err(ServeError::Rejected { queue_depth }) => {
+                            assert_eq!(queue_depth, 1);
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                });
+            }
+        });
+        assert!(rejected.load(Ordering::Relaxed) >= 1);
+        assert_eq!(service.stats().rejected, rejected.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn identical_concurrent_submissions_coalesce_to_one_execution() {
+        // One worker held busy by a first query forces the followers to pile
+        // up in the queue; the long window then coalesces them into one
+        // pass, and identical plans execute once.
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_batch_window(Duration::from_millis(50))
+            .with_cache_capacity(0)
+            .with_maintenance_interval(None);
+        let service = QueryService::start(engine(90), config).unwrap();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..6 {
+                let service = &service;
+                handles
+                    .push(scope.spawn(move || service.submit(QuerySpec::new("a bus on the road"))));
+            }
+            for handle in handles {
+                let served = handle.join().unwrap().unwrap();
+                assert!(!served.result.frames.is_empty());
+            }
+        });
+        let stats = service.stats();
+        // 6 submissions, at most a few engine executions (the first may run
+        // alone before the rest pile up; the pile itself dedupes to one).
+        assert_eq!(stats.submitted, 6);
+        assert!(
+            stats.engine_queries < 6,
+            "identical plans should dedupe: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn drop_drains_queued_submissions() {
+        let config = ServeConfig::default()
+            .with_workers(1)
+            .with_batch_window(Duration::from_millis(20))
+            .with_maintenance_interval(None);
+        let service = QueryService::start(engine(90), config).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let service = &service;
+                scope.spawn(move || {
+                    let served = service.submit(QuerySpec::new("a car")).unwrap();
+                    assert!(!served.result.frames.is_empty());
+                });
+            }
+            // Dropping the service inside the scope races shutdown against
+            // the submissions: each must either complete or see the typed
+            // ShuttingDown error — never hang, never panic.
+        });
+        drop(service);
+    }
+
+    #[test]
+    fn maintenance_compacts_fragmented_segments() {
+        // Fragment the collection with several undersized appends, then let
+        // maintenance (fast interval) compact them off the query path.
+        let service = QueryService::start(
+            engine(150),
+            ServeConfig::default().with_maintenance_interval(Some(Duration::from_millis(10))),
+        )
+        .unwrap();
+        let lovo = Arc::clone(service.engine());
+        let mut offset = 1000u32;
+        for seed in [41u64, 43, 47] {
+            let mut batch = VideoCollection::generate(
+                DatasetConfig::for_kind(DatasetKind::Bellevue)
+                    .with_frames_per_video(150)
+                    .with_seed(seed),
+            );
+            for video in &mut batch.videos {
+                video.id += offset;
+            }
+            offset += 1000;
+            lovo.add_videos(&batch).unwrap();
+        }
+        // Each append seals one undersized segment (default capacity 4096 is
+        // far above a batch's rows), so maintenance has work; it may already
+        // have merged mid-loop, so watch the lifetime counter, not a segment
+        // snapshot.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.stats().maintenance_segments_merged < 2 {
+            assert!(Instant::now() < deadline, "maintenance never compacted");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(service.stats().maintenance_ticks >= 1);
+        // Queries still answer over the compacted layout.
+        let served = service.submit(QuerySpec::new("a bus on the road")).unwrap();
+        assert!(!served.result.frames.is_empty());
+    }
+}

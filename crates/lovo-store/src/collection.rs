@@ -82,6 +82,11 @@ pub struct CollectionStats {
     pub index_builds: usize,
     /// Lifetime count of compaction passes that merged at least one segment.
     pub compactions: usize,
+    /// Content generation: bumped on every mutation that can change what a
+    /// search returns (row inserts, seals, compactions). Serving layers use
+    /// it as a cheap cache-invalidation epoch — a cached result is valid only
+    /// while the generation it was computed under is still current.
+    pub generation: u64,
 }
 
 /// Outcome of one [`SegmentedCollection::compact`] pass.
@@ -160,6 +165,7 @@ pub struct SegmentedCollection {
     next_segment_id: u64,
     index_builds: usize,
     compactions: usize,
+    generation: u64,
 }
 
 /// Historical name of the collection type, kept so call sites that predate
@@ -177,6 +183,7 @@ impl SegmentedCollection {
             next_segment_id: 1,
             index_builds: 0,
             compactions: 0,
+            generation: 0,
         })
     }
 
@@ -211,9 +218,27 @@ impl SegmentedCollection {
         self.sealed.len()
     }
 
+    /// Content generation of this collection: monotonically increasing,
+    /// bumped by every mutation that can change search results (inserts,
+    /// seals, compactions). Two reads returning the same generation bracket a
+    /// window in which no such mutation committed.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Explicitly advances the content generation without mutating rows.
+    /// For callers whose query results depend on state *outside* the
+    /// collection (e.g. the engine's key-frame map, merged after the
+    /// vectors publish): bumping after that state settles marks any result
+    /// computed during the window stale for epoch-keyed caches.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
     /// Inserts one embedding into the growing segment, sealing it first if it
     /// is full. Vectors are L2-normalized when the configuration requests it.
     pub fn insert(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
+        self.generation += 1;
         if self.config.normalize {
             let mut owned = vector.to_vec();
             lovo_index::metric::normalize(&mut owned);
@@ -265,6 +290,7 @@ impl SegmentedCollection {
         );
         self.next_segment_id += 1;
         self.index_builds += 1;
+        self.generation += 1;
         self.sealed.push(segment);
         Ok(())
     }
@@ -338,6 +364,7 @@ impl SegmentedCollection {
         self.next_segment_id += merged_segments.len() as u64;
         self.index_builds += merged_segments.len();
         self.compactions += 1;
+        self.generation += 1;
         let mut position = 0;
         self.sealed.retain(|_| {
             let keep = !replaced.contains(&position);
@@ -523,6 +550,7 @@ impl SegmentedCollection {
             growing_rows: self.growing.len(),
             index_builds: self.index_builds,
             compactions: self.compactions,
+            generation: self.generation,
         }
     }
 
@@ -846,6 +874,50 @@ mod tests {
         assert!(stats.built);
         assert_eq!(stats.sealed_segments, 1);
         assert_eq!(stats.index_builds, 1);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_content_mutation() {
+        let cfg = CollectionConfig::new(8).with_segment_capacity(30);
+        let mut c = SegmentedCollection::new("gen", cfg).unwrap();
+        assert_eq!(c.generation(), 0);
+        let vectors = sample_vectors(90, 8);
+        for (i, v) in vectors.iter().enumerate() {
+            let before = c.generation();
+            c.insert(i as u64, v).unwrap();
+            assert!(c.generation() > before, "insert {i} must bump");
+        }
+        // 90 rows at capacity 30: three auto-seals happened along the way.
+        assert_eq!(c.stats().sealed_segments, 3);
+        let after_inserts = c.generation();
+
+        // An explicit seal of an empty growing buffer is a no-op: no bump.
+        c.seal().unwrap();
+        assert_eq!(c.generation(), after_inserts);
+
+        // Seal three more undersized segments, then compact: both bump.
+        for (i, v) in vectors.iter().enumerate().take(30) {
+            c.insert(1000 + i as u64, v).unwrap();
+            if (i + 1) % 10 == 0 {
+                c.seal().unwrap();
+            }
+        }
+        let before_compact = c.generation();
+        let result = c.compact().unwrap();
+        assert!(result.segments_merged >= 2);
+        assert!(c.generation() > before_compact);
+        assert_eq!(c.stats().generation, c.generation());
+
+        // A compaction pass with nothing to merge leaves the epoch alone.
+        let settled = c.generation();
+        c.compact().unwrap();
+        assert_eq!(c.generation(), settled);
+
+        // An explicit bump advances without touching rows.
+        let entities = c.stats().entities;
+        c.bump_generation();
+        assert_eq!(c.generation(), settled + 1);
+        assert_eq!(c.stats().entities, entities);
     }
 
     #[test]

@@ -285,6 +285,31 @@ impl VectorDatabase {
         self.metadata.read().get(patch_id).cloned()
     }
 
+    /// Explicitly advances the named collection's content generation without
+    /// mutating rows — see
+    /// [`crate::collection::SegmentedCollection::bump_generation`] for when
+    /// that is the right tool.
+    pub fn touch_collection(&self, collection: &str) -> Result<()> {
+        let mut collections = self.collections.write();
+        let col = collections
+            .get_mut(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        col.bump_generation();
+        Ok(())
+    }
+
+    /// Content generation of the named collection: bumped by every insert,
+    /// seal and compaction. Serving layers key cache invalidation off this —
+    /// a result cached at generation `g` is stale once the collection reports
+    /// anything newer.
+    pub fn collection_generation(&self, collection: &str) -> Result<u64> {
+        let collections = self.collections.read();
+        let col = collections
+            .get(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        Ok(col.generation())
+    }
+
     /// Storage statistics of the named collection.
     pub fn collection_stats(&self, collection: &str) -> Result<CollectionStats> {
         let collections = self.collections.read();
@@ -441,7 +466,15 @@ mod tests {
             db.seal_collection("p").unwrap();
         }
         assert_eq!(db.collection_stats("p").unwrap().sealed_segments, 3);
+        let generation_before = db.collection_generation("p").unwrap();
+        assert!(generation_before > 0);
         let result = db.compact_collection("p").unwrap();
+        assert!(db.collection_generation("p").unwrap() > generation_before);
+        assert!(db.collection_generation("missing").is_err());
+        let touched = db.collection_generation("p").unwrap();
+        db.touch_collection("p").unwrap();
+        assert_eq!(db.collection_generation("p").unwrap(), touched + 1);
+        assert!(db.touch_collection("missing").is_err());
         assert_eq!(result.segments_merged, 3);
         assert_eq!(db.collection_stats("p").unwrap().sealed_segments, 1);
         let hits = db.search("p", &vector(42, 8), 1).unwrap();

@@ -26,6 +26,8 @@
 //!   `lovo-core` talks to, with batched patch insertion that takes the write
 //!   lock once per batch.
 
+#![warn(missing_docs)]
+
 pub mod collection;
 pub mod database;
 pub mod metadata;

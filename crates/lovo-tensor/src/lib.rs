@@ -6,7 +6,7 @@
 //!
 //! * a row-major [`Matrix`] type with the usual matrix/vector operations,
 //! * numerically careful activation and normalization ops ([`ops`]),
-//! * [`Linear`](nn::Linear) layers, [`Mlp`](nn::Mlp) blocks, [`LayerNorm`](nn::LayerNorm),
+//! * [`Linear`] layers, [`Mlp`] blocks, [`LayerNorm`],
 //! * multi-head self- and cross-attention ([`attention`]),
 //! * deterministic weight initialization ([`init`]) so that every experiment
 //!   is reproducible bit-for-bit across runs.

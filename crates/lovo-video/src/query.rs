@@ -196,6 +196,20 @@ impl QueryPredicate {
 
     /// Conjunction builder: `a.and(b)` holds when both hold. `Any` is the
     /// identity; nested conjunctions are flattened.
+    ///
+    /// ```
+    /// use lovo_video::{ObjectClass, QueryPredicate};
+    ///
+    /// // "a bus, in camera 1 or 2, within the first 30 seconds".
+    /// let scope = QueryPredicate::videos([1, 2])
+    ///     .and(QueryPredicate::time_range(0.0, 30.0))
+    ///     .and(QueryPredicate::class(ObjectClass::Bus));
+    /// assert!(matches!(&scope, QueryPredicate::And(children) if children.len() == 3));
+    ///
+    /// // `Any` is the identity, so builders compose from a neutral start.
+    /// let same = QueryPredicate::Any.and(QueryPredicate::videos([7]));
+    /// assert_eq!(same, QueryPredicate::videos([7]));
+    /// ```
     pub fn and(self, other: QueryPredicate) -> Self {
         match (self, other) {
             (QueryPredicate::Any, other) => other,

@@ -20,7 +20,7 @@ fn main() {
 
     // 1. Initial deployment over the first night of footage.
     let first = VideoCollection::generate(base.clone().with_seed(101));
-    let mut lovo = Lovo::build(&first, LovoConfig::default()).expect("build LOVO");
+    let lovo = Lovo::build(&first, LovoConfig::default()).expect("build LOVO");
     let stats = lovo.collection_stats();
     println!(
         "initial build: {} patches in {} sealed segment(s), {} index build(s), {:.2}s",

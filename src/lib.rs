@@ -11,6 +11,8 @@
 //! * [`index`] — ANN index families (flat, IVF-PQ, HNSW) and product quantization
 //! * [`store`] — vector collections + relational metadata joined by patch id
 //! * [`core`] — the two-stage LOVO engine (Algorithm 2)
+//! * [`serve`] — the concurrent query service (worker pool, micro-batching,
+//!   result cache, background maintenance)
 //! * [`eval`] — metrics, workloads, and the paper's figure/table experiments
 //! * [`baselines`] — FIGO/MIRIS/VOCAL/ZELDA/VisA/UMT comparison systems
 
@@ -19,6 +21,7 @@ pub use lovo_core as core;
 pub use lovo_encoder as encoder;
 pub use lovo_eval as eval;
 pub use lovo_index as index;
+pub use lovo_serve as serve;
 pub use lovo_store as store;
 pub use lovo_tensor as tensor;
 pub use lovo_video as video;

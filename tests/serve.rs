@@ -1,0 +1,250 @@
+//! Cross-crate serving-layer tests: the `QueryService` hammered from many
+//! threads while the engine ingests concurrently.
+//!
+//! The load-bearing invariant is *freshness through the cache*: every cached
+//! result is stamped with the ingest epoch it was computed under, and any
+//! insert/seal/compaction bumps the live epoch, so a submission can never be
+//! answered from a pre-ingest cache entry once the ingest has committed.
+
+use lovo::core::{Lovo, LovoConfig, QuerySpec};
+use lovo::serve::{QueryService, ServeConfig, ServeError};
+use lovo::video::{DatasetConfig, DatasetKind, VideoCollection};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn collection(frames: usize, seed: u64, id_offset: u32) -> VideoCollection {
+    let mut videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_frames_per_video(frames)
+            .with_seed(seed),
+    );
+    for video in &mut videos.videos {
+        video.id += id_offset;
+    }
+    videos
+}
+
+#[test]
+fn sixteen_threads_hammering_during_concurrent_ingest() {
+    let engine =
+        Arc::new(Lovo::build(&collection(180, 7, 0), LovoConfig::default()).expect("build engine"));
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        // Generous queue so this test exercises freshness, not admission
+        // (overload has its own test below); short window to keep latency low.
+        ServeConfig::default()
+            .with_queue_depth(4096)
+            .with_batch_window(Duration::from_micros(200)),
+    )
+    .expect("start service");
+
+    let queries = [
+        "a red car driving in the center of the road",
+        "a bus driving on the road",
+        "a person walking on the sidewalk",
+        "a car on the road",
+    ];
+    let epoch_before = engine.ingest_epoch();
+    let ingest_done = AtomicBool::new(false);
+    let post_ingest_submissions = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        // One ingest thread appending two batches mid-flight.
+        {
+            let engine = Arc::clone(&engine);
+            let ingest_done = &ingest_done;
+            scope.spawn(move || {
+                for (round, seed) in [31u64, 37].into_iter().enumerate() {
+                    let batch = collection(120, seed, 1000 * (round as u32 + 1));
+                    engine.add_videos(&batch).expect("append");
+                }
+                ingest_done.store(true, Ordering::SeqCst);
+            });
+        }
+        // 16 query threads hammering the service throughout.
+        for worker in 0..16 {
+            let service = &service;
+            let engine = &engine;
+            let ingest_done = &ingest_done;
+            let post_ingest_submissions = &post_ingest_submissions;
+            let text = queries[worker % queries.len()];
+            scope.spawn(move || {
+                // Keep hammering until the ingest has committed AND at least
+                // a couple of post-ingest rounds ran, so invalidation is
+                // always exercised regardless of relative thread speed.
+                let mut rounds_after_ingest = 0;
+                while rounds_after_ingest < 2 {
+                    if ingest_done.load(Ordering::SeqCst) {
+                        rounds_after_ingest += 1;
+                    }
+                    // Reading the epoch BEFORE submitting makes the freshness
+                    // assertion sound: if the ingest had already committed by
+                    // then, a stale pre-ingest answer must be impossible.
+                    let ingest_was_done = ingest_done.load(Ordering::SeqCst);
+                    let epoch_seen = engine.ingest_epoch();
+                    let served = service.submit(QuerySpec::new(text)).expect("submit");
+                    assert!(!served.result.frames.is_empty());
+                    for pair in served.result.frames.windows(2) {
+                        assert!(pair[0].score >= pair[1].score);
+                    }
+                    if ingest_was_done {
+                        post_ingest_submissions.fetch_add(1, Ordering::Relaxed);
+                        // No stale hit across the epoch bump: whatever this
+                        // submission was answered from (engine pass or cache
+                        // entry) was computed at a post-ingest epoch, which
+                        // means pre-ingest cache entries were NOT served.
+                        if served.cache_hit {
+                            assert!(
+                                epoch_seen > epoch_before,
+                                "cache hit served although the epoch never moved?"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        engine.ingest_epoch() > epoch_before,
+        "ingest must bump the epoch"
+    );
+    assert!(
+        post_ingest_submissions.load(Ordering::Relaxed) > 0,
+        "some submissions must land after the ingest to exercise invalidation"
+    );
+    let stats = service.stats();
+    assert!(stats.submitted >= 16 * 2);
+    assert_eq!(stats.rejected, 0);
+    // The epoch bumps evicted at least the entries cached before the ingest
+    // and re-requested after it.
+    assert!(
+        stats.cache_stale_evictions > 0,
+        "expected stale evictions across the ingest: {stats:?}"
+    );
+    // With 4 distinct texts hammered by 16 threads, the cache must have
+    // soaked up repeat traffic between epoch bumps.
+    assert!(stats.cache_hits > 0, "{stats:?}");
+
+    // Deterministic tail check: with the collection now quiescent, the first
+    // submission of a fresh text computes, the second hits, and both see the
+    // appended videos' footage searchable.
+    let fresh = QuerySpec::new("a red car side by side with another car");
+    let computed = service.submit(fresh.clone()).expect("submit");
+    assert!(!computed.cache_hit);
+    let cached = service.submit(fresh).expect("submit");
+    assert!(cached.cache_hit);
+    assert_eq!(cached.result.frames, computed.result.frames);
+}
+
+#[test]
+fn overload_surfaces_typed_rejection_without_wedging_the_service() {
+    let engine =
+        Arc::new(Lovo::build(&collection(120, 5, 0), LovoConfig::default()).expect("build engine"));
+    // One worker, one-query batches (`max_batch = 1` disables the coalescing
+    // window), depth-2 queue: the throttle is per-query engine latency
+    // (milliseconds) against a 16-thread burst arriving within microseconds,
+    // so at most in-flight + 2 queued submissions can be served promptly and
+    // the rest must be refused at the door.
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServeConfig::default()
+            .with_workers(1)
+            .with_queue_depth(2)
+            .with_max_batch(1)
+            .with_cache_capacity(0)
+            .with_maintenance_interval(None),
+    )
+    .expect("start service");
+
+    let rejected = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..16 {
+            let service = &service;
+            let rejected = &rejected;
+            let completed = &completed;
+            scope.spawn(move || {
+                match service.submit(QuerySpec::new(format!("a car number {client}"))) {
+                    Ok(served) => {
+                        assert!(served.result.timings.queue_seconds >= 0.0);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ServeError::Rejected { queue_depth }) => {
+                        assert_eq!(queue_depth, 2);
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            });
+        }
+    });
+    // 16 near-simultaneous one-shot clients against a depth-2 queue and a
+    // serve-one-at-a-time worker: some must be refused, the rest served.
+    assert!(
+        rejected.load(Ordering::Relaxed) >= 1,
+        "no rejection under overload"
+    );
+    assert!(completed.load(Ordering::Relaxed) >= 1, "nothing completed");
+    assert_eq!(
+        rejected.load(Ordering::Relaxed) + completed.load(Ordering::Relaxed),
+        16
+    );
+    let stats = service.stats();
+    assert_eq!(stats.rejected, rejected.load(Ordering::Relaxed) as u64);
+
+    // The service is not wedged: a follow-up submission completes normally.
+    let served = service
+        .submit(QuerySpec::new("a bus"))
+        .expect("post-overload submit");
+    assert!(served.result.timings.queue_seconds >= 0.0);
+}
+
+#[test]
+fn served_wait_time_separates_queue_from_engine_stages() {
+    let engine =
+        Arc::new(Lovo::build(&collection(120, 9, 0), LovoConfig::default()).expect("build engine"));
+    // A 25 ms batch window with one worker guarantees a measurable serve-side
+    // wait for submissions that arrive while the window is open.
+    let service = QueryService::start(
+        Arc::clone(&engine),
+        ServeConfig::default()
+            .with_workers(1)
+            .with_batch_window(Duration::from_millis(25))
+            .with_cache_capacity(0)
+            .with_maintenance_interval(None),
+    )
+    .expect("start service");
+
+    let direct = engine
+        .query("a bus driving on the road")
+        .expect("direct query");
+    assert_eq!(direct.timings.queue_seconds, 0.0);
+    assert!(direct.breakdown().starts_with("wait 0.00ms"));
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let service = &service;
+            handles.push(scope.spawn(move || {
+                service
+                    .submit(QuerySpec::new("a bus driving on the road"))
+                    .expect("submit")
+            }));
+        }
+        let mut max_wait = 0.0f64;
+        for handle in handles {
+            let served = handle.join().expect("join client");
+            let timings = served.result.timings;
+            assert!(timings.queue_seconds >= 0.0);
+            assert!(timings.total_seconds() >= timings.queue_seconds);
+            max_wait = max_wait.max(timings.queue_seconds);
+        }
+        // At least one submission waited out (part of) the batch window.
+        assert!(
+            max_wait >= 0.005,
+            "expected a visible batch-window wait, got {max_wait}s"
+        );
+    });
+}
