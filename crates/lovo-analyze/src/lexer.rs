@@ -1,0 +1,498 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lints in this crate only need a token stream that is *reliable about
+//! what is code and what is not*: string literals, char literals, lifetimes,
+//! and (nested) block comments must never leak their contents into the token
+//! stream, or every downstream lint would fire on `"call .unwrap() here"`
+//! inside a doc string. Everything else is deliberately coarse — numbers are
+//! one token, punctuation is one character per token (parsers that need `->`
+//! or `::` look at adjacent tokens).
+//!
+//! Comments are not discarded: they are collected into a side list with line
+//! spans, because the allow-marker (`// lint:allow(name, reason)`) and
+//! `// SAFETY:` conventions live in comments.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#match`, ...).
+    Ident,
+    /// A lifetime such as `'a` (including `'static` and `'_`).
+    Lifetime,
+    /// A numeric literal (integers and floats, any base).
+    Number,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`.`, `:`, `{`, `->` is two tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Str`] and [`TokenKind::Char`] this is
+    /// a placeholder, not the literal's contents — lints must never see
+    /// inside literals.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    fn punct(c: char, line: u32) -> Self {
+        Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        }
+    }
+
+    /// True when the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+}
+
+/// A comment (line or block) with the lines it spans.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// The comment text including its `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order, kept separately from the token stream.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `source` into tokens plus a side list of comments.
+///
+/// The lexer is resilient by construction: unterminated literals or comments
+/// simply run to end-of-file instead of erroring, because the analyzer must
+/// keep going on code that `rustc` would reject (fixtures are deliberately
+/// broken in interesting ways).
+pub fn lex(source: &str) -> LexOutput {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    // Counts newlines in chars[from..to] so multi-line literals/comments keep
+    // the running line number accurate.
+    let count_lines = |from: usize, to: usize| -> u32 {
+        chars[from..to.min(n)]
+            .iter()
+            .filter(|&&c| c == '\n')
+            .count() as u32
+    };
+
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (includes doc comments `///` and `//!`).
+        if c == '/' && next == Some('/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+
+        // Block comment, nesting-aware (`/* /* */ */` is one comment).
+        if c == '/' && next == Some('*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: chars[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+
+        // Raw strings, byte strings, C strings and raw identifiers all start
+        // with a prefix letter; plain identifiers fall through.
+        if is_ident_start(c) {
+            // Possible literal prefixes: r"", r#""#, b"", br"", rb is not a
+            // thing, b'', c"", cr#""#. Detect by scanning prefix letters then
+            // hashes then a quote.
+            let mut j = i;
+            while j < n && (chars[j] == 'r' || chars[j] == 'b' || chars[j] == 'c') && j - i < 2 {
+                j += 1;
+            }
+            let prefix: String = chars[i..j].iter().collect();
+            let mut hashes = 0usize;
+            let mut k = j;
+            while k < n && chars[k] == '#' {
+                hashes += 1;
+                k += 1;
+            }
+            let is_raw = prefix.contains('r');
+            let quote = chars.get(k).copied();
+
+            if quote == Some('"') && (is_raw || hashes == 0) && !prefix.is_empty() {
+                // String literal with a prefix: b"...", r"...", r#"..."#, ...
+                let start_line = line;
+                if is_raw {
+                    i = skip_raw_string(&chars, k, hashes);
+                } else {
+                    i = skip_plain_string(&chars, k);
+                }
+                line += count_lines(k, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: "\"…\"".to_string(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if prefix == "b" && hashes == 0 && quote == Some('\'') {
+                // Byte literal b'x'.
+                let start_line = line;
+                i = skip_char_literal(&chars, k);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: "b'…'".to_string(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if prefix == "r" && hashes == 1 && quote.is_some_and(is_ident_start) {
+                // Raw identifier r#match: lex as the identifier `match`.
+                let mut e = k;
+                while e < n && is_ident_continue(chars[e]) {
+                    e += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[k..e].iter().collect(),
+                    line,
+                });
+                i = e;
+                continue;
+            }
+
+            // Ordinary identifier / keyword.
+            let mut e = i;
+            while e < n && is_ident_continue(chars[e]) {
+                e += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[i..e].iter().collect(),
+                line,
+            });
+            i = e;
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let start_line = line;
+            let end = skip_plain_string(&chars, i);
+            line += count_lines(i, end);
+            i = end;
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: "\"…\"".to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // `'` is the hard case: char literal or lifetime.
+        if c == '\'' {
+            let c1 = chars.get(i + 1).copied();
+            let c2 = chars.get(i + 2).copied();
+            let is_char = match (c1, c2) {
+                (Some('\\'), _) => true,       // '\n', '\'', '\u{1F600}'
+                (Some(_), Some('\'')) => true, // 'x'
+                _ => false,
+            };
+            if is_char {
+                i = skip_char_literal(&chars, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: "'…'".to_string(),
+                    line,
+                });
+            } else if c1.is_some_and(is_ident_start) {
+                // Lifetime: 'a, 'static, '_ — no closing quote.
+                let mut e = i + 1;
+                while e < n && is_ident_continue(chars[e]) {
+                    e += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[i..e].iter().collect(),
+                    line,
+                });
+                i = e;
+            } else if c1 == Some('_') {
+                // '_ placeholder lifetime (covered above by is_ident_start,
+                // kept for clarity).
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: "'_".to_string(),
+                    line,
+                });
+                i += 2;
+            } else {
+                // Stray quote; emit as punct and move on.
+                out.tokens.push(Token::punct('\'', line));
+                i += 1;
+            }
+            continue;
+        }
+
+        // Numeric literal: good enough to glue `1.5e3`, `0x1F`, `1_000`
+        // together; `1.0e-3` lexes as `1.0e` `-` `3`, which no lint cares
+        // about.
+        if c.is_ascii_digit() {
+            let mut e = i;
+            while e < n {
+                let d = chars[e];
+                if is_ident_continue(d)
+                    || (d == '.' && chars.get(e + 1).is_some_and(|x| x.is_ascii_digit()))
+                {
+                    e += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[i..e].iter().collect(),
+                line,
+            });
+            i = e;
+            continue;
+        }
+
+        out.tokens.push(Token::punct(c, line));
+        i += 1;
+    }
+
+    out
+}
+
+/// Skips a `"…"` literal starting at the opening quote; returns the index
+/// just past the closing quote (or end of input).
+fn skip_plain_string(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    chars.len()
+}
+
+/// Skips a raw string whose opening quote is at `open` with `hashes` leading
+/// `#`s; returns the index just past the closing `"##…`.
+fn skip_raw_string(chars: &[char], open: usize, hashes: usize) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut matched = 0;
+            while matched < hashes && chars.get(i + 1 + matched) == Some(&'#') {
+                matched += 1;
+            }
+            if matched == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    chars.len()
+}
+
+/// Skips a `'…'` literal starting at the opening quote; returns the index
+/// just past the closing quote (or end of input).
+fn skip_char_literal(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    chars.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let src = r#"let s = "call .unwrap() and panic! now"; s.len();"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"len".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r###"let s = r#"inner "quoted" .unwrap()"#; after();"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "after"]);
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("before /* outer /* inner */ still comment */ after");
+        let ids: Vec<_> = out.tokens.iter().map(|t| t.text.clone()).collect();
+        assert_eq!(ids, vec!["before", "after"]);
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn char_literal_versus_lifetime() {
+        let out = lex("let c = 'x'; fn f<'a>(v: &'a str) { let q = '\\''; }");
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_unwrap_after() {
+        let ids = idents("fn f(s: &'static str) { s.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_string()));
+        let out = lex("&'static str");
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let ids = idents(r#"let a = b"unwrap"; let b2 = b'x'; let c = c"expect"; done();"#);
+        assert!(ids.contains(&"done".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ids = idents("let r#match = 1; use_it(r#match);");
+        assert!(ids.contains(&"match".to_string()));
+        assert!(ids.contains(&"use_it".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "line1();\n/* two\nline comment */\nline4();\nlet s = \"multi\nline\";\nline7();";
+        let out = lex(src);
+        let find = |name: &str| out.tokens.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("line1"), 1);
+        assert_eq!(find("line4"), 4);
+        assert_eq!(find("line7"), 7);
+        assert_eq!(out.comments[0].line, 2);
+        assert_eq!(out.comments[0].end_line, 3);
+    }
+
+    #[test]
+    fn line_comment_collected_with_text() {
+        let out = lex("code(); // lint:allow(panic, reason here)\nmore();");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("lint:allow(panic"));
+        assert_eq!(out.comments[0].line, 1);
+    }
+
+    #[test]
+    fn numbers_glue_and_ranges_split() {
+        let out = lex("0..10 1.5 0x1F 1_000");
+        let nums: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "0x1F", "1_000"]);
+    }
+}

@@ -1,0 +1,15 @@
+//! The lint families: each submodule implements one composable pass over the
+//! parsed workspace and returns [`crate::Finding`]s.
+
+pub mod invariants;
+pub mod locks;
+pub mod panics;
+
+/// True when `path` (workspace-relative, `/`-separated) falls under any of
+/// the configured path prefixes/suffix patterns. A pattern matches when the
+/// normalized path contains it as a substring — patterns are written like
+/// `crates/lovo-serve/src/service.rs` or `crates/lovo-index/src`.
+pub(crate) fn path_matches(path: &std::path::Path, patterns: &[String]) -> bool {
+    let normalized = path.to_string_lossy().replace('\\', "/");
+    patterns.iter().any(|p| normalized.contains(p.as_str()))
+}

@@ -1,0 +1,170 @@
+//! Panic-freedom audit for designated always-on modules.
+//!
+//! The serve tier and the executor hot path run inside worker threads whose
+//! panic takes down a whole service worker ([`worker_panics` is counted, but
+//! every count is a lost request]); the index scan kernels run under rayon
+//! where a panic poisons the pool. In those modules `unwrap`, `expect`,
+//! `panic!`-family macros and direct slice indexing are denied; intentional
+//! uses carry `// lint:allow(panic, reason)` / `// lint:allow(index, reason)`
+//! with a written justification.
+
+use crate::lints::path_matches;
+use crate::model::ParsedFile;
+use crate::{Finding, Severity};
+
+/// Lint name for panicking calls/macros, as used in allow markers.
+pub const PANIC_LINT: &str = "panic";
+/// Lint name for unchecked slice indexing, as used in allow markers.
+pub const INDEX_LINT: &str = "index";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Configuration for the panic audit: which files are panic-denied and which
+/// additionally deny unchecked indexing.
+pub struct PanicConfig {
+    /// Path patterns for modules where `unwrap`/`expect`/`panic!` are denied.
+    pub panic_paths: Vec<String>,
+    /// Path patterns (a subset of `panic_paths` in practice) where direct
+    /// slice indexing `x[i]` is denied too.
+    pub index_paths: Vec<String>,
+}
+
+/// Runs the panic audit over one file.
+pub fn check(file: &ParsedFile, config: &PanicConfig, findings: &mut Vec<Finding>) {
+    let deny_panics = path_matches(&file.path, &config.panic_paths);
+    let deny_index = path_matches(&file.path, &config.index_paths);
+    if !deny_panics && !deny_index {
+        return;
+    }
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        let t = &tokens[i];
+
+        if deny_panics {
+            // `.unwrap()` / `.expect(` method calls.
+            let is_method = i > 0
+                && tokens[i - 1].is_punct('.')
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if is_method && (t.is_ident("unwrap") || t.is_ident("expect")) {
+                push_unless_allowed(
+                    file,
+                    PANIC_LINT,
+                    t.line,
+                    format!(
+                        "`.{}()` in a panic-denied module; return a typed error or add \
+                         `// lint:allow(panic, reason)`",
+                        t.text
+                    ),
+                    findings,
+                );
+                continue;
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros.
+            let is_macro = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && tokens
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'));
+            if is_macro && PANIC_MACROS.iter().any(|m| t.is_ident(m)) {
+                push_unless_allowed(
+                    file,
+                    PANIC_LINT,
+                    t.line,
+                    format!(
+                        "`{}!` in a panic-denied module; return a typed error or add \
+                         `// lint:allow(panic, reason)`",
+                        t.text
+                    ),
+                    findings,
+                );
+                continue;
+            }
+        }
+
+        if deny_index && t.is_punct('[') && is_index_expression(file, i) {
+            let close = crate::model::matching_close(tokens, i);
+            if close > i + 1 && !contains_range(tokens, i + 1, close) {
+                push_unless_allowed(
+                    file,
+                    INDEX_LINT,
+                    t.line,
+                    "unchecked slice index in a panic-denied module; use `.get()`/`.get_mut()` \
+                     or add `// lint:allow(index, reason)`"
+                        .to_string(),
+                    findings,
+                );
+            }
+        }
+    }
+}
+
+/// True when the `[` at `idx` indexes a value (as opposed to opening an
+/// array literal, an attribute, or a type). Indexing follows an identifier,
+/// a closing bracket, or a string/number literal.
+fn is_index_expression(file: &ParsedFile, idx: usize) -> bool {
+    let Some(prev) = idx.checked_sub(1).map(|p| &file.tokens[p]) else {
+        return false;
+    };
+    // `vec![…]` and `#[…]` are macro/attribute brackets.
+    if prev.is_punct('!') || prev.is_punct('#') {
+        return false;
+    }
+    matches!(
+        prev.kind,
+        crate::lexer::TokenKind::Ident | crate::lexer::TokenKind::Number
+    ) && !is_keyword(&prev.text)
+        || prev.is_punct(')')
+        || prev.is_punct(']')
+}
+
+/// Keywords that may precede `[` without it being an index (e.g. `return [..]`).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "let" | "return" | "break" | "in" | "if" | "else" | "match" | "as" | "mut" | "ref" | "move"
+    )
+}
+
+/// True when the bracket contents `tokens[open+1..close]` contain a `..`
+/// range at depth zero — range slicing (`&v[a..b]`) has its own panic story
+/// and is out of scope for this lint.
+fn contains_range(tokens: &[crate::lexer::Token], start: usize, close: usize) -> bool {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < close {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0
+            && t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+        {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+fn push_unless_allowed(
+    file: &ParsedFile,
+    lint: &'static str,
+    line: u32,
+    message: String,
+    findings: &mut Vec<Finding>,
+) {
+    if file.allow_for(lint, line).is_some() {
+        return;
+    }
+    findings.push(Finding {
+        file: file.path.clone(),
+        line,
+        lint,
+        severity: Severity::Error,
+        message,
+    });
+}

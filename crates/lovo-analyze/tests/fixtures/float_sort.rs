@@ -1,0 +1,22 @@
+//! Float comparator patterns: an unwrapping comparator (error), a
+//! panic-free but non-total one (warning), and the two accepted shapes.
+
+pub fn bad(xs: &mut Vec<f32>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn lax(pairs: &mut Vec<(u32, f32)>) {
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn good(xs: &mut Vec<f32>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn tied(pairs: &mut Vec<(u32, f32)>) {
+    pairs.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+}

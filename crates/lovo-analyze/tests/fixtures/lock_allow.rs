@@ -1,0 +1,18 @@
+//! Same shape as `lock_contra.rs`, but the out-of-order acquisition carries
+//! an allow marker: the edge must be dropped before graph analysis.
+
+use std::sync::Mutex;
+
+pub struct Db {
+    catalog: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+impl Db {
+    pub fn commit(&self) -> u32 {
+        let journal = self.journal.lock();
+        // lint:allow(lock-order, startup path runs strictly single-threaded)
+        let catalog = self.catalog.lock();
+        *journal + *catalog
+    }
+}

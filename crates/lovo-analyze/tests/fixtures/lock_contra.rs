@@ -1,0 +1,17 @@
+//! Acquires `journal` before `catalog`; the test documents the opposite
+//! hierarchy, so the analyzer must report a contradiction.
+
+use std::sync::Mutex;
+
+pub struct Db {
+    catalog: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+impl Db {
+    pub fn commit(&self) -> u32 {
+        let journal = self.journal.lock();
+        let catalog = self.catalog.lock();
+        *journal + *catalog
+    }
+}

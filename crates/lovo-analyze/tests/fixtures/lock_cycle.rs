@@ -1,0 +1,23 @@
+//! Two functions acquiring the same pair of locks in opposite orders: the
+//! classic AB/BA deadlock. The analyzer must report a lock-order cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.right.lock();
+        let a = self.left.lock();
+        *a + *b
+    }
+}

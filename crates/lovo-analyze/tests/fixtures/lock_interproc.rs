@@ -1,0 +1,23 @@
+//! A nested acquisition that only exists through the call graph:
+//! `write_data` holds `data` while calling `bump_meta`, which takes `meta`.
+//! The analyzer must surface the `Store.data -> Store.meta` edge.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    data: Mutex<u32>,
+    meta: Mutex<u32>,
+}
+
+impl Store {
+    fn bump_meta(&self) {
+        let mut meta = self.meta.lock();
+        *meta += 1;
+    }
+
+    pub fn write_data(&self) {
+        let data = self.data.lock();
+        self.bump_meta();
+        drop(data);
+    }
+}

@@ -1,0 +1,16 @@
+//! The same denied constructs as `panics_bad.rs`, each suppressed with a
+//! reasoned allow marker — the audit must stay silent.
+
+pub fn first(values: &[u32]) -> u32 {
+    // lint:allow(index, caller guarantees a non-empty slice)
+    values[0]
+}
+
+pub fn must(value: Option<u32>) -> u32 {
+    value.unwrap() // lint:allow(panic, invariant: checked Some by admission)
+}
+
+pub fn boom() -> u32 {
+    // lint:allow(panic, unreachable by construction: all variants matched)
+    panic!("boom")
+}

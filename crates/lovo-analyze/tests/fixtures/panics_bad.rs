@@ -1,0 +1,27 @@
+//! Every construct the panic audit denies, one per function. Test code at
+//! the bottom uses the same constructs and must stay exempt.
+
+pub fn first(values: &[u32]) -> u32 {
+    values[0]
+}
+
+pub fn must(value: Option<u32>) -> u32 {
+    value.unwrap()
+}
+
+pub fn must_msg(value: Option<u32>) -> u32 {
+    value.expect("present")
+}
+
+pub fn boom() -> u32 {
+    panic!("boom")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_may_unwrap_and_index() {
+        let values = vec![1u32];
+        assert_eq!(values[0], Some(1u32).unwrap());
+    }
+}

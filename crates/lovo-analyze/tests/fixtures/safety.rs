@@ -1,0 +1,10 @@
+//! `unsafe` with and without the mandatory `// SAFETY:` comment.
+
+pub fn undocumented(values: &[u32]) -> u32 {
+    unsafe { *values.as_ptr() }
+}
+
+pub fn documented(values: &[u32]) -> u32 {
+    // SAFETY: callers pass a non-empty slice, so the pointer is readable.
+    unsafe { *values.as_ptr() }
+}

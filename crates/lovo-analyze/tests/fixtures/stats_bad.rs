@@ -1,0 +1,21 @@
+//! Stats structs that violate merge coverage: `PoolStats::merge` forgets
+//! `evictions`, and `OrphanStats` has no merge function at all.
+
+#[derive(Default)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+#[derive(Default)]
+pub struct OrphanStats {
+    pub ticks: u64,
+}

@@ -93,6 +93,7 @@ impl ObjectQuerySystem for Figo {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.video_id, a.frame_index).cmp(&(b.video_id, b.frame_index)))
         });
         let verify_count = ((candidates.len() as f32) * self.verify_fraction).ceil() as usize;
         let verify_count = verify_count.max(top.min(candidates.len()));

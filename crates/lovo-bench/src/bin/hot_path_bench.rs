@@ -54,7 +54,7 @@ fn measure_queries(queries: &[Vec<f32>], mut run_query: impl FnMut(&[f32])) -> L
             break;
         }
     }
-    samples_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples_us.sort_by(|a, b| a.total_cmp(b));
     LatencyStats {
         qps: samples_us.len() as f64 / total_secs,
         p50_us: percentile(&samples_us, 0.50),

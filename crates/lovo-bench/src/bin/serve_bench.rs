@@ -62,7 +62,7 @@ where
     });
     let wall = wall_start.elapsed().as_secs_f64();
     let mut samples = samples.into_inner().expect("samples lock");
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    samples.sort_by(|a, b| a.total_cmp(b));
     LatencyStats {
         qps: samples.len() as f64 / wall,
         p50_ms: percentile(&samples, 0.50),

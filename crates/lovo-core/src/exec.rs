@@ -22,7 +22,7 @@
 use crate::engine::{Lovo, QueryResult, QueryTimings, RankedObject};
 use crate::planner::QueryPlan;
 use crate::summary::{split_patch_id, PATCH_COLLECTION};
-use crate::Result;
+use crate::{LovoError, Result};
 use lovo_encoder::cross_modality::CandidateFrame;
 use lovo_encoder::{QueryEmbedding, RerankedFrame};
 use lovo_index::SearchStats;
@@ -33,7 +33,9 @@ use std::time::Instant;
 /// Executes a single plan.
 pub(crate) fn execute(lovo: &Lovo, plan: &QueryPlan) -> Result<QueryResult> {
     let mut results = execute_batch(lovo, std::slice::from_ref(plan))?;
-    Ok(results.pop().expect("one result per plan"))
+    results
+        .pop()
+        .ok_or_else(|| LovoError::InvalidState("executor returned no result for plan".into()))
 }
 
 /// Executes a batch of plans, sharing the encode pass and the segment
@@ -54,19 +56,20 @@ pub(crate) fn execute_batch(lovo: &Lovo, plans: &[QueryPlan]) -> Result<Vec<Quer
     // resolution — the metadata join runs once per *distinct* predicate, not
     // once per query.
     let mut resolved: Vec<PushdownFilter> = Vec::new();
-    let mut resolved_for: Vec<usize> = Vec::new(); // plan that first resolved it
+    // Predicate that first resolved each slot.
+    let mut resolved_pred: Vec<&lovo_store::PatchPredicate> = Vec::new();
     let mut plan_filter: Vec<Option<usize>> = Vec::with_capacity(plans.len());
-    for (position, (plan, timing)) in plans.iter().zip(&mut timings).enumerate() {
+    for (plan, timing) in plans.iter().zip(&mut timings) {
         let start = Instant::now();
         let mut slot = None;
         if !plan.provably_empty && !plan.patch_predicate.is_unconstrained() {
-            slot = resolved_for
+            slot = resolved_pred
                 .iter()
-                .position(|&first| plans[first].patch_predicate == plan.patch_predicate);
+                .position(|&first| *first == plan.patch_predicate);
             if slot.is_none() {
                 if let Some(filter) = lovo.database.resolve_filter(&plan.patch_predicate) {
                     resolved.push(filter);
-                    resolved_for.push(position);
+                    resolved_pred.push(&plan.patch_predicate);
                     slot = Some(resolved.len() - 1);
                 }
             }
@@ -80,31 +83,39 @@ pub(crate) fn execute_batch(lovo: &Lovo, plans: &[QueryPlan]) -> Result<Vec<Quer
     // --- Stage 3: coarse filtered search, batched (Algorithm 1). ---
     // All searchable plans fan out over the segments together; the batch's
     // wall-clock is attributed evenly since the pass is shared.
-    let searchable: Vec<usize> = plans
-        .iter()
-        .enumerate()
-        .filter(|(_, plan)| !plan.provably_empty)
-        .map(|(position, _)| position)
-        .collect();
+    let mut search_positions: Vec<usize> = Vec::new();
+    let mut requests: Vec<BatchQuery<'_>> = Vec::new();
+    for (position, ((plan, embedding), slot)) in
+        plans.iter().zip(&embeddings).zip(&plan_filter).enumerate()
+    {
+        if plan.provably_empty {
+            continue;
+        }
+        search_positions.push(position);
+        requests.push(BatchQuery {
+            query: embedding.embedding.as_slice(),
+            k: plan.fast_search_k,
+            filter: slot.and_then(|s| resolved.get(s)),
+        });
+    }
     let mut coarse: Vec<Option<(Vec<JoinedHit>, SearchStats)>> =
         plans.iter().map(|_| None).collect();
-    if !searchable.is_empty() {
-        let requests: Vec<BatchQuery<'_>> = searchable
-            .iter()
-            .map(|&position| BatchQuery {
-                query: embeddings[position].embedding.as_slice(),
-                k: plans[position].fast_search_k,
-                filter: plan_filter[position].map(|slot| &resolved[slot]),
-            })
-            .collect();
+    if !requests.is_empty() {
         let search_start = Instant::now();
         let batch_results = lovo
             .database
             .search_batch_with_stats(PATCH_COLLECTION, &requests)?;
-        let shared_seconds = search_start.elapsed().as_secs_f64() / searchable.len() as f64;
-        for (&position, result) in searchable.iter().zip(batch_results) {
-            timings[position].fast_search_seconds = shared_seconds;
-            coarse[position] = Some(result);
+        let shared_seconds = search_start.elapsed().as_secs_f64() / requests.len() as f64;
+        for (&position, result) in search_positions.iter().zip(batch_results) {
+            // The positions were collected over these same vectors just
+            // above, so the lookups cannot miss; `.get` keeps the hot path
+            // structurally panic-free all the same.
+            if let (Some(timing), Some(slot)) =
+                (timings.get_mut(position), coarse.get_mut(position))
+            {
+                timing.fast_search_seconds = shared_seconds;
+                *slot = Some(result);
+            }
         }
     }
 
@@ -207,8 +218,9 @@ fn finish(
         let mut ranked: Vec<RankedObject> = frame_order
             .iter()
             .filter_map(|key| {
-                let (score, bbox) = best_per_frame[key];
-                keyframes.get(key).map(|frame| RankedObject {
+                let (score, bbox) = *best_per_frame.get(key)?;
+                let frame = keyframes.get(key)?;
+                Some(RankedObject {
                     video_id: key.0,
                     frame_index: key.1,
                     timestamp: frame.timestamp,
@@ -221,6 +233,7 @@ fn finish(
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.video_id, a.frame_index).cmp(&(b.video_id, b.frame_index)))
         });
         ranked.truncate(plan.output_frames);
         ranked

@@ -221,7 +221,10 @@ impl IvfPqIndex {
     }
 
     fn insert_built(&mut self, id: VectorId, vector: &[f32]) -> Result<()> {
-        let built = self.built.as_ref().expect("insert_built called when built");
+        let built = self
+            .built
+            .as_ref()
+            .ok_or_else(|| IndexError::InvalidState("insert_built called before build".into()))?;
         let (key, codes) = self.assign_cell(built, vector);
         let centroid = self.cell_centroid(built, &codes);
         let residual: Vec<f32> = vector
@@ -229,7 +232,10 @@ impl IvfPqIndex {
             .zip(centroid.iter())
             .map(|(v, c)| v - c)
             .collect();
-        let built = self.built.as_mut().expect("mutable built state");
+        let built = self
+            .built
+            .as_mut()
+            .ok_or_else(|| IndexError::InvalidState("insert_built called before build".into()))?;
         let code = built.pq.encode(&residual)?;
         let dim = self.config.dim;
         let row = match built.id_rows.entry(id) {

@@ -56,6 +56,35 @@ pub struct ServeStats {
     pub maintenance_segments_merged: u64,
 }
 
+impl ServeStats {
+    /// Folds another snapshot into this one, field by field, yielding the
+    /// combined lifetime totals (e.g. across replicas of one service).
+    ///
+    /// Every counter in the struct must be folded here — the workspace
+    /// `stats-merge` lint checks the field list against this body.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.submitted = self.submitted.saturating_add(other.submitted);
+        self.rejected = self.rejected.saturating_add(other.rejected);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_stale_evictions = self
+            .cache_stale_evictions
+            .saturating_add(other.cache_stale_evictions);
+        self.engine_batches = self.engine_batches.saturating_add(other.engine_batches);
+        self.engine_queries = self.engine_queries.saturating_add(other.engine_queries);
+        self.coalesced = self.coalesced.saturating_add(other.coalesced);
+        self.worker_panics = self.worker_panics.saturating_add(other.worker_panics);
+        self.maintenance_ticks = self
+            .maintenance_ticks
+            .saturating_add(other.maintenance_ticks);
+        self.maintenance_seals = self
+            .maintenance_seals
+            .saturating_add(other.maintenance_seals);
+        self.maintenance_segments_merged = self
+            .maintenance_segments_merged
+            .saturating_add(other.maintenance_segments_merged);
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -133,27 +162,42 @@ impl QueryService {
             work_ready: Condvar::new(),
             counters: Counters::default(),
         });
-        let workers = (0..config.workers)
-            .map(|worker| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("lovo-serve-worker-{worker}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        let maintenance = config.maintenance_interval.map(|interval| {
-            let stop = Arc::new((Mutex::new(false), Condvar::new()));
-            let thread = {
-                let shared = Arc::clone(&shared);
-                let stop = Arc::clone(&stop);
-                std::thread::Builder::new()
+        // A failed spawn must not leak the threads already started: tell
+        // them to shut down and join them before surfacing the error.
+        let abort_spawn = |workers: Vec<std::thread::JoinHandle<()>>, err: std::io::Error| {
+            shared.lock_state().shutdown = true;
+            shared.work_ready.notify_all();
+            for worker in workers {
+                let _ = worker.join();
+            }
+            ServeError::Engine(format!("failed to spawn service thread: {err}"))
+        };
+        let mut workers = Vec::with_capacity(config.workers);
+        for worker in 0..config.workers {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("lovo-serve-worker-{worker}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(err) => return Err(abort_spawn(workers, err)),
+            }
+        }
+        let maintenance = match config.maintenance_interval {
+            Some(interval) => {
+                let stop = Arc::new((Mutex::new(false), Condvar::new()));
+                let thread_shared = Arc::clone(&shared);
+                let thread_stop = Arc::clone(&stop);
+                let spawned = std::thread::Builder::new()
                     .name("lovo-serve-maintenance".into())
-                    .spawn(move || maintenance_loop(&shared, &stop, interval))
-                    .expect("spawn maintenance thread")
-            };
-            MaintenanceHandle { stop, thread }
-        });
+                    .spawn(move || maintenance_loop(&thread_shared, &thread_stop, interval));
+                match spawned {
+                    Ok(thread) => Some(MaintenanceHandle { stop, thread }),
+                    Err(err) => return Err(abort_spawn(workers, err)),
+                }
+            }
+            None => None,
+        };
         Ok(Self {
             shared,
             workers,
@@ -379,21 +423,26 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
     let epoch = shared.engine.ingest_epoch();
 
     // Group submissions by fingerprint; each group executes (or hits) once.
-    let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+    // Each group carries its exemplar plan alongside the member list so the
+    // later stages never index into it.
+    let mut groups: Vec<(u64, QueryPlan, Vec<Pending>)> = Vec::new();
     for pending in batch {
-        match groups.iter_mut().find(|(fingerprint, members)| {
-            *fingerprint == pending.fingerprint && members[0].plan == pending.plan
+        match groups.iter_mut().find(|(fingerprint, plan, _)| {
+            *fingerprint == pending.fingerprint && *plan == pending.plan
         }) {
-            Some((_, members)) => members.push(pending),
-            None => groups.push((pending.fingerprint, vec![pending])),
+            Some((_, _, members)) => members.push(pending),
+            None => {
+                let plan = pending.plan.clone();
+                groups.push((pending.fingerprint, plan, vec![pending]));
+            }
         }
     }
 
     // Re-check the cache per group: another worker (or an earlier batch of
     // this one) may have filled the entry while we waited in the window.
-    let mut run: Vec<(u64, Vec<Pending>)> = Vec::new();
-    for (fingerprint, members) in groups {
-        match shared.cache.get(fingerprint, &members[0].plan, epoch) {
+    let mut run: Vec<(u64, QueryPlan, Vec<Pending>)> = Vec::new();
+    for (fingerprint, plan, members) in groups {
+        match shared.cache.get(fingerprint, &plan, epoch) {
             Some(result) => {
                 shared
                     .counters
@@ -401,17 +450,14 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
                     .fetch_add(members.len() as u64, Ordering::Relaxed);
                 reply_all(members, &result, true, 0);
             }
-            None => run.push((fingerprint, members)),
+            None => run.push((fingerprint, plan, members)),
         }
     }
     if run.is_empty() {
         return;
     }
 
-    let plans: Vec<QueryPlan> = run
-        .iter()
-        .map(|(_, members)| members[0].plan.clone())
-        .collect();
+    let plans: Vec<QueryPlan> = run.iter().map(|(_, plan, _)| plan.clone()).collect();
     shared
         .counters
         .engine_batches
@@ -422,7 +468,7 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
         .fetch_add(plans.len() as u64, Ordering::Relaxed);
     // Only submissions the engine pass actually answers count as coalesced —
     // group members peeled off by the cache re-check above do not.
-    let executed: usize = run.iter().map(|(_, members)| members.len()).sum();
+    let executed: usize = run.iter().map(|(_, _, members)| members.len()).sum();
     if executed > 1 {
         shared
             .counters
@@ -432,16 +478,14 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
 
     match shared.engine.query_plans(&plans) {
         Ok(results) => {
-            for ((fingerprint, members), result) in run.into_iter().zip(results) {
-                shared
-                    .cache
-                    .put(fingerprint, &members[0].plan, epoch, result.clone());
+            for ((fingerprint, plan, members), result) in run.into_iter().zip(results) {
+                shared.cache.put(fingerprint, &plan, epoch, result.clone());
                 reply_all(members, &result, false, executed - 1);
             }
         }
         Err(error) => {
             let message = error.to_string();
-            for (_, members) in run {
+            for (_, _, members) in run {
                 for pending in members {
                     let _ = pending.reply.send(Err(ServeError::Engine(message.clone())));
                 }
@@ -534,6 +578,63 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.engine_queries, 1);
         assert_eq!(service.cached_results(), 1);
+    }
+
+    #[test]
+    fn serve_stats_merge_covers_every_field() {
+        // Regression guard for the add-a-counter-forget-to-merge bug class:
+        // all eleven fields distinct and nonzero on both sides, so a field
+        // the merge body skips keeps its old value and fails its assertion.
+        let mut a = ServeStats {
+            submitted: 1,
+            rejected: 2,
+            cache_hits: 3,
+            cache_stale_evictions: 4,
+            engine_batches: 5,
+            engine_queries: 6,
+            coalesced: 7,
+            worker_panics: 8,
+            maintenance_ticks: 9,
+            maintenance_seals: 10,
+            maintenance_segments_merged: 11,
+        };
+        a.merge(&ServeStats {
+            submitted: 100,
+            rejected: 200,
+            cache_hits: 300,
+            cache_stale_evictions: 400,
+            engine_batches: 500,
+            engine_queries: 600,
+            coalesced: 700,
+            worker_panics: 800,
+            maintenance_ticks: 900,
+            maintenance_seals: 1000,
+            maintenance_segments_merged: 1100,
+        });
+        assert_eq!(a.submitted, 101);
+        assert_eq!(a.rejected, 202);
+        assert_eq!(a.cache_hits, 303);
+        assert_eq!(a.cache_stale_evictions, 404);
+        assert_eq!(a.engine_batches, 505);
+        assert_eq!(a.engine_queries, 606);
+        assert_eq!(a.coalesced, 707);
+        assert_eq!(a.worker_panics, 808);
+        assert_eq!(a.maintenance_ticks, 909);
+        assert_eq!(a.maintenance_seals, 1010);
+        assert_eq!(a.maintenance_segments_merged, 1111);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = ServeStats {
+            submitted: u64::MAX - 1,
+            ..ServeStats::default()
+        };
+        a.merge(&ServeStats {
+            submitted: 10,
+            ..ServeStats::default()
+        });
+        assert_eq!(a.submitted, u64::MAX);
     }
 
     #[test]

@@ -202,6 +202,92 @@ fn overload_surfaces_typed_rejection_without_wedging_the_service() {
 }
 
 #[test]
+fn drop_under_load_completes_or_types_every_submission() {
+    let engine = Arc::new(
+        Lovo::build(&collection(120, 13, 0), LovoConfig::default()).expect("build engine"),
+    );
+    // Shared ownership so the teardown races the load for real: the main
+    // thread relinquishes its handle while clients are mid-submit, and the
+    // service Drop (stop admitting → drain the queue → join workers and the
+    // maintenance thread) runs on whichever thread lets go of the last
+    // reference — with the ingest thread still appending against the same
+    // engine throughout.
+    let service = Arc::new(
+        QueryService::start(
+            Arc::clone(&engine),
+            // One slow worker and one-query batches so the queue is
+            // genuinely non-empty for most of the run.
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_depth(64)
+                .with_max_batch(1)
+                .with_cache_capacity(0),
+        )
+        .expect("start service"),
+    );
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let typed_errors = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+
+    // Racing ingest through an engine handle independent of the service.
+    {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            engine
+                .add_videos(&collection(90, 41, 5000))
+                .expect("append during teardown");
+        }));
+    }
+
+    const CLIENTS: usize = 12;
+    const ROUNDS: usize = 3;
+    for client in 0..CLIENTS {
+        let service = Arc::clone(&service);
+        let completed = Arc::clone(&completed);
+        let typed_errors = Arc::clone(&typed_errors);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..ROUNDS {
+                let spec = QuerySpec::new(format!("a car number {client} round {round}"));
+                match service.submit(spec) {
+                    Ok(served) => {
+                        assert!(!served.result.frames.is_empty());
+                        assert!(served.result.timings.queue_seconds >= 0.0);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // The only acceptable refusals are the typed ones.
+                    Err(ServeError::Rejected { .. }) | Err(ServeError::ShuttingDown) => {
+                        typed_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(other) => panic!("submission neither served nor typed-refused: {other}"),
+                }
+            }
+        }));
+    }
+
+    // Let go of the main handle while the clients above are still queued.
+    drop(service);
+
+    // Every thread joins — the drain guarantee means nothing can hang on an
+    // unanswered reply channel, and no worker panics (a panicking pass
+    // would surface as `WorkerLost`, which the match above rejects).
+    for handle in handles {
+        handle.join().expect("join under-teardown thread");
+    }
+    let completed = completed.load(Ordering::Relaxed);
+    let typed_errors = typed_errors.load(Ordering::Relaxed);
+    assert_eq!(completed + typed_errors, CLIENTS * ROUNDS);
+    assert!(completed > 0, "nothing completed under load");
+
+    // The racing ingest landed: the engine is still consistent afterwards.
+    assert!(!engine
+        .query("a car on the road")
+        .expect("post-teardown query")
+        .frames
+        .is_empty());
+}
+
+#[test]
 fn served_wait_time_separates_queue_from_engine_stages() {
     let engine =
         Arc::new(Lovo::build(&collection(120, 9, 0), LovoConfig::default()).expect("build engine"));
