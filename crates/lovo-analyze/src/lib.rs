@@ -119,6 +119,8 @@ pub fn default_config(hierarchy: &[(String, String)]) -> Config {
                 "lovo-index/src/ivf.rs".to_string(),
                 "lovo-index/src/hnsw.rs".to_string(),
                 "lovo-index/src/pq.rs".to_string(),
+                "lovo-index/src/fastscan.rs".to_string(),
+                "lovo-index/src/quant.rs".to_string(),
             ],
             index_paths: vec![
                 "lovo-serve/src/service.rs".to_string(),

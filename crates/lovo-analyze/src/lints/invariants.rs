@@ -14,7 +14,11 @@
 //!   mentioned in the corresponding `merge`/`accumulate` body, catching the
 //!   add-a-counter-forget-to-merge bug class at lint time.
 //! - **safety-comment** — any `unsafe` block must carry a `// SAFETY:`
-//!   comment on the same or the preceding two lines.
+//!   comment on the same or the preceding two lines. `unsafe fn`
+//!   declarations carrying `#[target_feature(..)]` are exempt: there the
+//!   `unsafe` is the *signature* (calling without the CPU feature is UB, so
+//!   pre-2024 editions force the keyword), not an unsafe operation — the
+//!   SAFETY obligation sits at the call sites, which the lint still checks.
 
 use crate::model::{matching_close, ParsedFile};
 use crate::{Finding, Severity};
@@ -115,6 +119,9 @@ fn check_safety_comments(file: &ParsedFile, findings: &mut Vec<Finding>) {
         if !t.is_ident("unsafe") || file.in_test(i) {
             continue;
         }
+        if is_target_feature_fn(file, i) {
+            continue;
+        }
         let line = t.line;
         let documented = file
             .comments
@@ -132,6 +139,27 @@ fn check_safety_comments(file: &ParsedFile, findings: &mut Vec<Finding>) {
             );
         }
     }
+}
+
+/// True when the `unsafe` at token `i` opens an `unsafe fn` declaration
+/// whose attributes include `#[target_feature(..)]`. Such fns are `unsafe`
+/// by signature, not by operation: the declaration performs nothing unsafe
+/// (its *callers* must prove the CPU feature is present, and those call
+/// sites stay subject to the lint). The backward scan is bounded: the
+/// attribute sits directly above the declaration, separated from the
+/// `unsafe` keyword only by visibility tokens and other attributes.
+fn is_target_feature_fn(file: &ParsedFile, i: usize) -> bool {
+    let tokens = &file.tokens;
+    if !tokens.get(i + 1).is_some_and(|next| next.is_ident("fn")) {
+        return false;
+    }
+    let start = i.saturating_sub(24);
+    (start..i).any(|j| {
+        tokens[j].is_ident("target_feature")
+            && j > 0
+            && tokens[j - 1].is_punct('[')
+            && tokens.get(j + 1).is_some_and(|next| next.is_punct('('))
+    })
 }
 
 /// Checks stats merge coverage across the whole workspace (struct and merge

@@ -1,0 +1,28 @@
+//! `#[target_feature]` fn declarations vs. ordinary `unsafe`.
+//!
+//! The declaration is `unsafe` only by signature (callers must prove the
+//! CPU feature); the lint must NOT fire there. The undocumented *call* of
+//! it is a real unsafe operation and must still fire, as must the plain
+//! undocumented unsafe block.
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn accumulate(values: &[u32]) -> u32 {
+    values.iter().sum()
+}
+
+pub fn undocumented_call(values: &[u32]) -> u32 {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return values.iter().sum();
+    }
+    unsafe { accumulate(values) }
+}
+
+pub fn undocumented_block(values: &[u32]) -> u32 {
+    let first = unsafe { *values.as_ptr() };
+    first
+}
+
+pub fn documented_call(values: &[u32]) -> u32 {
+    // SAFETY: the avx2 check above this call path guarantees the feature.
+    unsafe { accumulate(values) }
+}

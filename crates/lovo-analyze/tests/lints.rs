@@ -242,6 +242,16 @@ fn unsafe_requires_a_safety_comment() {
     assert_eq!(safety[0].line, 4); // `undocumented` only
 }
 
+#[test]
+fn target_feature_fn_declaration_is_exempt_but_call_sites_are_not() {
+    let findings = run(&["target_feature.rs"], &quiet_config());
+    let safety = of_lint(&findings, "safety-comment");
+    // The `#[target_feature] unsafe fn` declaration must NOT fire; the
+    // undocumented call of it and the undocumented plain block both must.
+    let lines: Vec<u32> = safety.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![17, 21], "findings: {findings:?}");
+}
+
 // --- hierarchy doc parsing ---
 
 #[test]

@@ -1,0 +1,442 @@
+//! Quantized-scan benchmark for the PR 7 acceptance numbers: 4-bit fast-scan
+//! kernel throughput (scalar vs. detected SIMD vs. the f32 ADC list scan),
+//! int8 flat top-k vs. the f32 flat baseline with measured recall,
+//! recall-vs-QPS curves for both quantization tiers, and the intra-query
+//! segment-parallelism sweep over a many-segment collection.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p lovo-bench --bin fastscan_bench -- \
+//!     [--rows 100000] [--dim 64] [--queries 64] [--k 10] [--out PATH]
+//! ```
+//!
+//! JSON goes to stdout; `--out` additionally writes it to a file. CI runs
+//! this with a small `--rows` and `LOVO_DISABLE_SIMD=1` so the scalar
+//! fallback and the emitter can never bit-rot; the committed `BENCH_pr7.json`
+//! comes from a full run on a development machine.
+//!
+//! Caveat for the intra-query sweep: worker counts beyond the machine's
+//! hardware parallelism time-slice one core and show no speedup (single-vCPU
+//! CI in particular reports flat QPS across the sweep). The JSON records
+//! `hardware_threads` so readers can judge the sweep in context.
+
+use lovo_index::{
+    FastScanCodes, FastScanKernel, FlatIndex, IndexKind, IvfPqConfig, IvfPqIndex, PqConfig,
+    ProductQuantizer, QuantizedFlatIndex, QuantizedLut, VectorIndex,
+};
+use lovo_store::{BatchQuery, CollectionConfig, SegmentedCollection};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-workload wall-clock summary over repeated query passes.
+struct LatencyStats {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// Runs `run_query` over every query, repeating whole passes until ~0.5 s of
+/// samples accumulate, and summarizes per-query latency.
+fn measure_queries(queries: &[Vec<f32>], mut run_query: impl FnMut(&[f32])) -> LatencyStats {
+    let mut samples_us: Vec<f64> = Vec::new();
+    let mut total_secs = 0.0f64;
+    let budget_secs = 0.5;
+    let max_passes = 50;
+    for _ in 0..max_passes {
+        for q in queries {
+            let start = Instant::now();
+            run_query(q);
+            let secs = start.elapsed().as_secs_f64();
+            samples_us.push(secs * 1e6);
+            total_secs += secs;
+        }
+        if total_secs >= budget_secs {
+            break;
+        }
+    }
+    samples_us.sort_by(|a, b| a.total_cmp(b));
+    LatencyStats {
+        qps: samples_us.len() as f64 / total_secs,
+        p50_us: percentile(&samples_us, 0.50),
+        p99_us: percentile(&samples_us, 0.99),
+    }
+}
+
+fn random_unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            lovo_index::metric::normalize(&mut v);
+            v
+        })
+        .collect()
+}
+
+/// Exact f32 top-k ids per query — the recall ground truth.
+fn ground_truth(flat: &FlatIndex, queries: &[Vec<f32>], k: usize) -> Vec<Vec<u64>> {
+    queries
+        .iter()
+        .map(|q| {
+            flat.search(q, k)
+                .unwrap()
+                .into_iter()
+                .map(|h| h.id)
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean recall@k of `search` against the precomputed truth sets.
+fn recall_against(
+    truth: &[Vec<u64>],
+    queries: &[Vec<f32>],
+    k: usize,
+    mut search: impl FnMut(&[f32]) -> Vec<u64>,
+) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (q, t) in queries.iter().zip(truth) {
+        let got = search(q);
+        hit += got.iter().filter(|id| t.contains(id)).count();
+        total += k.min(t.len());
+    }
+    hit as f64 / total.max(1) as f64
+}
+
+fn json_latency(name: &str, s: &LatencyStats, recall: Option<f64>) -> String {
+    match recall {
+        Some(r) => format!(
+            "\"{name}\": {{\"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"recall_at_k\": {:.4}}}",
+            s.qps, s.p50_us, s.p99_us, r
+        ),
+        None => format!(
+            "\"{name}\": {{\"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+            s.qps, s.p50_us, s.p99_us
+        ),
+    }
+}
+
+/// Million rows scored per second running `scan` in a ~0.5 s loop.
+fn scan_throughput(rows: usize, mut scan: impl FnMut() -> f32) -> f64 {
+    let mut passes = 0u64;
+    let mut checksum = 0.0f32;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < 0.5 {
+        checksum += scan();
+        passes += 1;
+    }
+    black_box(checksum);
+    passes as f64 * rows as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+/// ADC kernel comparison on the same 16-centroid PQ: f32 `score_list` vs. the
+/// fast-scan layout under the scalar and the runtime-detected kernel.
+fn bench_adc_kernels(vectors: &[Vec<f32>], queries: &[Vec<f32>], dim: usize) -> String {
+    let rows = vectors.len();
+    let subspaces = (dim / 4).max(1);
+    let pq = ProductQuantizer::train(
+        PqConfig {
+            dim,
+            num_subspaces: subspaces,
+            centroids_per_subspace: 16,
+            seed: 0x4b17,
+        },
+        &vectors[..rows.min(4_000)],
+    )
+    .unwrap();
+
+    let mut packed = FastScanCodes::new(subspaces);
+    let mut flat_codes: Vec<u8> = Vec::with_capacity(rows * subspaces);
+    for v in vectors {
+        let code = pq.encode(v).unwrap();
+        packed.append(&code.0).unwrap();
+        flat_codes.extend_from_slice(&code.0);
+    }
+
+    let query = &queries[0];
+    let adc = pq.adc_table(query).unwrap();
+    let lut = QuantizedLut::from_adc(&adc).unwrap();
+
+    let mut scores: Vec<f32> = Vec::with_capacity(rows);
+    let f32_mcodes = scan_throughput(rows, || {
+        scores.clear();
+        adc.score_list(black_box(&flat_codes), subspaces, &mut scores);
+        scores[scores.len() - 1]
+    });
+
+    let scalar = FastScanKernel::scalar();
+    let scalar_mcodes = scan_throughput(rows, || {
+        scores.clear();
+        packed.scores(black_box(&lut), scalar, &mut scores).unwrap();
+        scores[scores.len() - 1]
+    });
+
+    let detected = FastScanKernel::detect();
+    let detected_mcodes = scan_throughput(rows, || {
+        scores.clear();
+        packed
+            .scores(black_box(&lut), detected, &mut scores)
+            .unwrap();
+        scores[scores.len() - 1]
+    });
+
+    format!(
+        "\"adc_kernels\": {{\"subspaces\": {subspaces}, \"adc_f32\": {{\"mcodes_per_sec\": {f32_mcodes:.1}}}, \"fastscan_scalar\": {{\"mcodes_per_sec\": {scalar_mcodes:.1}}}, \"fastscan_detected\": {{\"kernel\": \"{}\", \"mcodes_per_sec\": {detected_mcodes:.1}}}}}",
+        detected.name()
+    )
+}
+
+/// Intra-query worker sweep: one query against a collection of many sealed
+/// segments, forced worker counts 1/2/4/8.
+fn bench_intra_query(vectors: &[Vec<f32>], queries: &[Vec<f32>], dim: usize, k: usize) -> String {
+    let segments = 20usize;
+    let capacity = vectors.len().div_ceil(segments);
+    let cfg = CollectionConfig::new(dim)
+        .with_index_kind(IndexKind::BruteForce)
+        .with_segment_capacity(capacity);
+    let mut col = SegmentedCollection::new("bench", cfg).unwrap();
+    for (i, v) in vectors.iter().enumerate() {
+        col.insert(i as u64, v).unwrap();
+    }
+    let sealed = col.stats().sealed_segments;
+
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let stats = measure_queries(queries, |q| {
+            let batch = [BatchQuery {
+                query: q,
+                k,
+                filter: None,
+            }];
+            black_box(col.search_batch_with_stats_opts(&batch, workers).unwrap());
+        });
+        entries.push(format!(
+            "{{\"workers\": {workers}, \"qps\": {:.1}, \"p50_us\": {:.2}}}",
+            stats.qps, stats.p50_us
+        ));
+    }
+    format!(
+        "\"intra_query\": {{\"sealed_segments\": {sealed}, \"hardware_threads\": {hardware}, \"sweep\": [{}]}}",
+        entries.join(", ")
+    )
+}
+
+fn bench_rows(rows: usize, dim: usize, num_queries: usize, k: usize) -> String {
+    eprintln!("[fastscan_bench] rows={rows}: generating data...");
+    let vectors = random_unit_vectors(rows, dim, 0xbe7c);
+    let queries = random_unit_vectors(num_queries, dim, 0x9e1);
+
+    eprintln!("[fastscan_bench] rows={rows}: building flat baselines...");
+    let mut flat = FlatIndex::new(dim);
+    for (i, v) in vectors.iter().enumerate() {
+        flat.insert(i as u64, v).unwrap();
+    }
+    let truth = ground_truth(&flat, &queries, k);
+
+    // --- Flat top-k: f32 baseline vs. the int8 overfetch-and-rescore tier. ---
+    eprintln!("[fastscan_bench] rows={rows}: flat f32 vs int8...");
+    let flat_stats = measure_queries(&queries, |q| {
+        black_box(flat.search(q, k).unwrap());
+    });
+    let flat_recall = 1.0; // the truth source by construction
+
+    let mut int8 = QuantizedFlatIndex::new(dim);
+    for (i, v) in vectors.iter().enumerate() {
+        int8.insert(i as u64, v).unwrap();
+    }
+    let int8_stats = measure_queries(&queries, |q| {
+        black_box(int8.search(q, k).unwrap());
+    });
+    let int8_recall = recall_against(&truth, &queries, k, |q| {
+        int8.search(q, k)
+            .unwrap()
+            .into_iter()
+            .map(|h| h.id)
+            .collect()
+    });
+
+    // --- Recall-vs-QPS curve for int8: overfetch sweep. ---
+    eprintln!("[fastscan_bench] rows={rows}: int8 overfetch curve...");
+    let mut int8_curve = Vec::new();
+    for overfetch in [1usize, 2, 4, 8] {
+        let mut idx = QuantizedFlatIndex::with_overfetch(dim, overfetch);
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(i as u64, v).unwrap();
+        }
+        let stats = measure_queries(&queries, |q| {
+            black_box(idx.search(q, k).unwrap());
+        });
+        let recall = recall_against(&truth, &queries, k, |q| {
+            idx.search(q, k)
+                .unwrap()
+                .into_iter()
+                .map(|h| h.id)
+                .collect()
+        });
+        int8_curve.push(format!(
+            "{{\"overfetch\": {overfetch}, \"qps\": {:.1}, \"recall_at_k\": {:.4}}}",
+            stats.qps, recall
+        ));
+    }
+
+    // --- IVF-PQ: f32 ADC baseline vs. the 4-bit fast-scan cells, then the
+    // recall-vs-QPS curve over nprobe for the fast-scan variant. ---
+    eprintln!("[fastscan_bench] rows={rows}: IVF-PQ baseline vs fast-scan...");
+    let mut ivf = IvfPqIndex::new(IvfPqConfig::for_dim(dim)).unwrap();
+    let mut ivf_fast = IvfPqIndex::new(
+        IvfPqConfig::for_dim(dim)
+            .with_fastscan()
+            .with_int8_rescore(),
+    )
+    .unwrap();
+    for (i, v) in vectors.iter().enumerate() {
+        ivf.insert(i as u64, v).unwrap();
+        ivf_fast.insert(i as u64, v).unwrap();
+    }
+    ivf.build().unwrap();
+    ivf_fast.build().unwrap();
+    let ivf_stats = measure_queries(&queries, |q| {
+        black_box(ivf.search(q, k).unwrap());
+    });
+    let ivf_recall = recall_against(&truth, &queries, k, |q| {
+        ivf.search(q, k)
+            .unwrap()
+            .into_iter()
+            .map(|h| h.id)
+            .collect()
+    });
+    let ivf_fast_stats = measure_queries(&queries, |q| {
+        black_box(ivf_fast.search(q, k).unwrap());
+    });
+    let ivf_fast_recall = recall_against(&truth, &queries, k, |q| {
+        ivf_fast
+            .search(q, k)
+            .unwrap()
+            .into_iter()
+            .map(|h| h.id)
+            .collect()
+    });
+
+    eprintln!("[fastscan_bench] rows={rows}: fast-scan nprobe curve...");
+    let mut fastscan_curve = Vec::new();
+    for nprobe in [2usize, 4, 8, 12, 16] {
+        let mut idx = IvfPqIndex::new(
+            IvfPqConfig::for_dim(dim)
+                .with_nprobe(nprobe)
+                .with_fastscan()
+                .with_int8_rescore(),
+        )
+        .unwrap();
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(i as u64, v).unwrap();
+        }
+        idx.build().unwrap();
+        let stats = measure_queries(&queries, |q| {
+            black_box(idx.search(q, k).unwrap());
+        });
+        let recall = recall_against(&truth, &queries, k, |q| {
+            idx.search(q, k)
+                .unwrap()
+                .into_iter()
+                .map(|h| h.id)
+                .collect()
+        });
+        fastscan_curve.push(format!(
+            "{{\"nprobe\": {nprobe}, \"qps\": {:.1}, \"recall_at_k\": {:.4}}}",
+            stats.qps, recall
+        ));
+    }
+
+    // --- Raw ADC kernel throughput and the intra-query sweep. ---
+    eprintln!("[fastscan_bench] rows={rows}: ADC kernels...");
+    let adc_json = bench_adc_kernels(&vectors, &queries, dim);
+    eprintln!("[fastscan_bench] rows={rows}: intra-query sweep...");
+    let intra_json = bench_intra_query(&vectors, &queries, dim, k);
+
+    format!(
+        "    \"{rows}\": {{\n      {},\n      {},\n      {},\n      {},\n      \"int8_overfetch_curve\": [{}],\n      \"fastscan_nprobe_curve\": [{}],\n      {adc_json},\n      {intra_json}\n    }}",
+        json_latency("flat_topk_f32", &flat_stats, Some(flat_recall)),
+        json_latency("flat_topk_int8", &int8_stats, Some(int8_recall)),
+        json_latency("ivfpq_topk_f32", &ivf_stats, Some(ivf_recall)),
+        json_latency("ivfpq_topk_fastscan", &ivf_fast_stats, Some(ivf_fast_recall)),
+        int8_curve.join(", "),
+        fastscan_curve.join(", "),
+    )
+}
+
+fn main() {
+    let mut rows: Vec<usize> = vec![100_000];
+    let mut dim = 64usize;
+    let mut num_queries = 64usize;
+    let mut k = 10usize;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        let take = |name: &str| -> String {
+            value
+                .clone()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag {
+            "--rows" => {
+                rows = take("--rows")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--rows expects integers"))
+                    .collect();
+                i += 2;
+            }
+            "--dim" => {
+                dim = take("--dim").parse().expect("--dim expects an integer");
+                i += 2;
+            }
+            "--queries" => {
+                num_queries = take("--queries").parse().expect("--queries: integer");
+                i += 2;
+            }
+            "--k" => {
+                k = take("--k").parse().expect("--k expects an integer");
+                i += 2;
+            }
+            "--out" => {
+                out = Some(take("--out"));
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let kernel = FastScanKernel::detect();
+    let sections: Vec<String> = rows
+        .iter()
+        .map(|&n| bench_rows(n, dim, num_queries, k))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fastscan_pr7\",\n  \"dim\": {dim},\n  \"k\": {k},\n  \"queries\": {num_queries},\n  \"kernel\": \"{}\",\n  \"rows\": {{\n{}\n  }}\n}}",
+        kernel.name(),
+        sections.join(",\n")
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).expect("write --out file");
+        eprintln!("[fastscan_bench] wrote {path}");
+    }
+}

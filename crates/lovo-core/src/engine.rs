@@ -113,13 +113,15 @@ pub struct QueryResult {
 impl QueryResult {
     /// One-line per-stage latency breakdown, e.g.
     /// `wait 0.40ms | encode 0.12ms | prune 0.00ms | coarse 1.40ms |
-    /// rerank 3.25ms | segments 1 pruned / 3 probed`. The leading `wait` is
-    /// the serve-side queue + batch-window latency — zero unless the query
-    /// went through a serving layer such as `lovo-serve`.
+    /// rerank 3.25ms | segments 1 pruned / 3 probed / 0 parallel`. The
+    /// leading `wait` is the serve-side queue + batch-window latency — zero
+    /// unless the query went through a serving layer such as `lovo-serve`;
+    /// the trailing `parallel` counts segments scanned by intra-query
+    /// fan-out workers (zero for a sequential scan).
     pub fn breakdown(&self) -> String {
         format!(
             "wait {:.2}ms | encode {:.2}ms | prune {:.2}ms | coarse {:.2}ms | rerank {:.2}ms | \
-             segments {} pruned / {} probed",
+             segments {} pruned / {} probed / {} parallel",
             self.timings.wait_ms(),
             self.timings.encode_ms(),
             self.timings.prune_ms(),
@@ -127,6 +129,7 @@ impl QueryResult {
             self.timings.rerank_ms(),
             self.search_stats.segments_pruned,
             self.search_stats.segments_probed,
+            self.search_stats.parallel_segments,
         )
     }
 }
@@ -335,6 +338,19 @@ impl Lovo {
     /// plans straight to execution here instead of re-planning.
     pub fn query_plans(&self, plans: &[QueryPlan]) -> Result<Vec<QueryResult>> {
         exec::execute_batch(self, plans)
+    }
+
+    /// [`Lovo::query_plans`] with an explicit intra-query fan-out worker
+    /// count for the coarse search (`0` = automatic sizing). A serving layer
+    /// under low load passes its idle worker capacity here, letting a lone
+    /// query split its sealed segments across otherwise-idle cores instead
+    /// of scanning them on one thread.
+    pub fn query_plans_opts(
+        &self,
+        plans: &[QueryPlan],
+        intra_query_threads: usize,
+    ) -> Result<Vec<QueryResult>> {
+        exec::execute_batch_opts(self, plans, intra_query_threads)
     }
 }
 

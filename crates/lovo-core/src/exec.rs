@@ -41,6 +41,16 @@ pub(crate) fn execute(lovo: &Lovo, plan: &QueryPlan) -> Result<QueryResult> {
 /// Executes a batch of plans, sharing the encode pass and the segment
 /// fan-out across the whole batch. Results come back in plan order.
 pub(crate) fn execute_batch(lovo: &Lovo, plans: &[QueryPlan]) -> Result<Vec<QueryResult>> {
+    execute_batch_opts(lovo, plans, 0)
+}
+
+/// [`execute_batch`] with an explicit intra-query fan-out worker count for
+/// the coarse stage (`0` = automatic sizing in the storage layer).
+pub(crate) fn execute_batch_opts(
+    lovo: &Lovo,
+    plans: &[QueryPlan],
+    intra_query_threads: usize,
+) -> Result<Vec<QueryResult>> {
     // --- Stage 1: encode every query text up front (§VI-A). ---
     let mut timings = vec![QueryTimings::default(); plans.len()];
     let mut embeddings: Vec<QueryEmbedding> = Vec::with_capacity(plans.len());
@@ -102,9 +112,11 @@ pub(crate) fn execute_batch(lovo: &Lovo, plans: &[QueryPlan]) -> Result<Vec<Quer
         plans.iter().map(|_| None).collect();
     if !requests.is_empty() {
         let search_start = Instant::now();
-        let batch_results = lovo
-            .database
-            .search_batch_with_stats(PATCH_COLLECTION, &requests)?;
+        let batch_results = lovo.database.search_batch_with_stats_opts(
+            PATCH_COLLECTION,
+            &requests,
+            intra_query_threads,
+        )?;
         let shared_seconds = search_start.elapsed().as_secs_f64() / requests.len() as f64;
         for (&position, result) in search_positions.iter().zip(batch_results) {
             // The positions were collected over these same vectors just

@@ -1,0 +1,593 @@
+//! 4-bit fast-scan PQ kernels (the FAISS "PQ4 fast scan" layout).
+//!
+//! The classic ADC loop ([`crate::pq::AdcTable::score_list`]) does one
+//! table *load* per (vector, subspace) pair: the lookup table lives in L1,
+//! but every lookup is still a scalar load-add chain. The fast-scan layout
+//! removes the loads entirely on SIMD hardware:
+//!
+//! * codebooks are restricted to **16 centroids per subspace**, so a code is
+//!   a nibble and a whole per-subspace lookup table is 16 bytes — exactly one
+//!   SIMD register on SSE/AVX;
+//! * codes are **transposed into blocks of 32 vectors**: for each pair of
+//!   subspaces, one contiguous 32-byte plane holds the packed nibbles of all
+//!   32 vectors (low nibble = even subspace, high nibble = odd subspace);
+//! * the f32 ADC table is **quantized to u8** (per-subspace minimum
+//!   subtracted, one global scale), so 32 lookups become one
+//!   `pshufb`/`_mm256_shuffle_epi8` and scores accumulate in u16 lanes.
+//!
+//! The scalar fallback performs the *same* u8 lookups and u16 integer adds in
+//! the same order, so its sums are bit-identical to the SIMD kernel's — the
+//! property suite in `tests/fastscan_properties.rs` holds both paths to that.
+//!
+//! Kernel selection happens once per process ([`FastScanKernel::detect`]),
+//! honours the `LOVO_DISABLE_SIMD` environment switch, and can be pinned to
+//! scalar explicitly for deterministic tests.
+
+use crate::pq::AdcTable;
+use crate::{IndexError, Result};
+use std::sync::OnceLock;
+
+/// Vectors per fast-scan block: 32 packed nibbles fill one 256-bit register
+/// plane per subspace pair.
+pub const FASTSCAN_BLOCK: usize = 32;
+
+/// Centroids per subspace the fast-scan layout supports (codes are nibbles).
+pub const FASTSCAN_CENTROIDS: usize = 16;
+
+/// Environment variable that force-disables every SIMD kernel when set to a
+/// non-empty value other than `0` — CI uses it to exercise the scalar
+/// fallback on any runner.
+pub const DISABLE_SIMD_ENV: &str = "LOVO_DISABLE_SIMD";
+
+/// Which accumulation kernel a [`FastScanKernel`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelKind {
+    /// Portable u8-lookup / u16-add loop, bit-identical to the SIMD path.
+    Scalar,
+    /// AVX2 `_mm256_shuffle_epi8` in-register lookups (x86_64 only).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+fn simd_disabled_by_env() -> bool {
+    match std::env::var(DISABLE_SIMD_ENV) {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+static DETECTED: OnceLock<KernelKind> = OnceLock::new();
+
+fn detect_kind() -> KernelKind {
+    *DETECTED.get_or_init(|| {
+        if simd_disabled_by_env() {
+            return KernelKind::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return KernelKind::Avx2;
+        }
+        KernelKind::Scalar
+    })
+}
+
+/// Runtime-dispatched fast-scan accumulation kernel.
+///
+/// One instance is selected per process and shared by every sealed segment;
+/// the choice is visible in benchmarks via [`FastScanKernel::name`].
+#[derive(Debug, Clone, Copy)]
+pub struct FastScanKernel {
+    kind: KernelKind,
+}
+
+impl FastScanKernel {
+    /// Selects the best kernel the CPU supports, unless `LOVO_DISABLE_SIMD`
+    /// pins the scalar path. Detection runs once per process.
+    pub fn detect() -> Self {
+        Self {
+            kind: detect_kind(),
+        }
+    }
+
+    /// The portable scalar kernel, unconditionally — deterministic tests use
+    /// this to compare the SIMD path against the fallback on the same host.
+    pub fn scalar() -> Self {
+        Self {
+            kind: KernelKind::Scalar,
+        }
+    }
+
+    /// Human-readable kernel name for benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            KernelKind::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 => "avx2",
+        }
+    }
+
+    /// True when this kernel uses SIMD intrinsics.
+    pub fn is_simd(&self) -> bool {
+        !matches!(self.kind, KernelKind::Scalar)
+    }
+
+    /// Accumulates one block: for each of the 32 vectors of `block`, sums the
+    /// u8 LUT entries of every subspace into `sums`. `block` holds
+    /// `pairs * 32` bytes (one 32-byte nibble plane per subspace pair) and
+    /// `luts` holds `pairs * 2` tables of 16 bytes each.
+    #[inline]
+    fn accumulate_block(&self, luts: &[u8], block: &[u8], pairs: usize, sums: &mut [u16; 32]) {
+        debug_assert_eq!(block.len(), pairs * FASTSCAN_BLOCK);
+        debug_assert_eq!(luts.len(), pairs * 2 * FASTSCAN_CENTROIDS);
+        match self.kind {
+            KernelKind::Scalar => accumulate_block_scalar(luts, block, pairs, sums),
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 => {
+                // SAFETY: `KernelKind::Avx2` is only constructed after AVX2
+                // detection succeeded, so the target feature is present.
+                unsafe { avx2::accumulate_block_avx2(luts, block, pairs, sums) }
+            }
+        }
+    }
+}
+
+/// Portable reference kernel: identical u8 lookups and u16 additions to the
+/// SIMD path (per vector: LUT bytes summed pair-plane by pair-plane), so the
+/// two produce bit-identical sums.
+fn accumulate_block_scalar(luts: &[u8], block: &[u8], pairs: usize, sums: &mut [u16; 32]) {
+    for p in 0..pairs {
+        let lut_lo = &luts[2 * p * FASTSCAN_CENTROIDS..(2 * p + 1) * FASTSCAN_CENTROIDS];
+        let lut_hi = &luts[(2 * p + 1) * FASTSCAN_CENTROIDS..(2 * p + 2) * FASTSCAN_CENTROIDS];
+        let plane = &block[p * FASTSCAN_BLOCK..(p + 1) * FASTSCAN_BLOCK];
+        for (j, &byte) in plane.iter().enumerate() {
+            sums[j] += lut_lo[(byte & 0x0F) as usize] as u16 + lut_hi[(byte >> 4) as usize] as u16;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 in-register lookup kernel.
+    //!
+    //! Per subspace pair: one 32-byte plane of packed nibbles is loaded into a
+    //! 256-bit register; `_mm256_shuffle_epi8` performs all 32 low-nibble
+    //! lookups in one instruction (and another for the high nibbles), and the
+    //! u8 results widen into two u16 accumulators. With ≤256 subspaces each
+    //! contributing ≤255, the u16 lanes cannot overflow, so the sums equal
+    //! the scalar kernel's bit for bit.
+
+    use super::{FASTSCAN_BLOCK, FASTSCAN_CENTROIDS};
+    use std::arch::x86_64::*;
+
+    /// Accumulates one 32-vector block with AVX2 shuffles.
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX2 (checked once at kernel
+    /// detection). Slice lengths are the same contract as the scalar kernel:
+    /// `block.len() == pairs * 32`, `luts.len() == pairs * 2 * 16`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn accumulate_block_avx2(
+        luts: &[u8],
+        block: &[u8],
+        pairs: usize,
+        sums: &mut [u16; 32],
+    ) {
+        let low_mask = _mm256_set1_epi8(0x0F);
+        let zero = _mm256_setzero_si256();
+        // acc_a accumulates vectors [0..8) and [16..24); acc_b accumulates
+        // [8..16) and [24..32) — the per-128-bit-lane split of unpacklo/hi.
+        let mut acc_a = _mm256_setzero_si256();
+        let mut acc_b = _mm256_setzero_si256();
+        for p in 0..pairs {
+            // SAFETY: the length contract gives `pairs * 32` bytes in `block`
+            // and `pairs * 2 * 16` bytes in `luts`, so every pointer below
+            // stays in bounds; loadu has no alignment requirement.
+            let plane = _mm256_loadu_si256(block.as_ptr().add(p * FASTSCAN_BLOCK).cast());
+            let lut_lo128 = _mm_loadu_si128(luts.as_ptr().add(2 * p * FASTSCAN_CENTROIDS).cast());
+            let lut_hi128 =
+                _mm_loadu_si128(luts.as_ptr().add((2 * p + 1) * FASTSCAN_CENTROIDS).cast());
+            let lut_lo = _mm256_broadcastsi128_si256(lut_lo128);
+            let lut_hi = _mm256_broadcastsi128_si256(lut_hi128);
+            let lo_nibbles = _mm256_and_si256(plane, low_mask);
+            let hi_nibbles = _mm256_and_si256(_mm256_srli_epi16(plane, 4), low_mask);
+            let vals_lo = _mm256_shuffle_epi8(lut_lo, lo_nibbles);
+            let vals_hi = _mm256_shuffle_epi8(lut_hi, hi_nibbles);
+            acc_a = _mm256_add_epi16(acc_a, _mm256_unpacklo_epi8(vals_lo, zero));
+            acc_b = _mm256_add_epi16(acc_b, _mm256_unpackhi_epi8(vals_lo, zero));
+            acc_a = _mm256_add_epi16(acc_a, _mm256_unpacklo_epi8(vals_hi, zero));
+            acc_b = _mm256_add_epi16(acc_b, _mm256_unpackhi_epi8(vals_hi, zero));
+        }
+        let mut a = [0u16; 16];
+        let mut b = [0u16; 16];
+        // SAFETY: both arrays are exactly 32 bytes, matching the store width.
+        _mm256_storeu_si256(a.as_mut_ptr().cast(), acc_a);
+        _mm256_storeu_si256(b.as_mut_ptr().cast(), acc_b);
+        // De-interleave the per-lane unpack order back into vector order.
+        for j in 0..8 {
+            sums[j] += a[j];
+            sums[8 + j] += b[j];
+            sums[16 + j] += a[8 + j];
+            sums[24 + j] += b[8 + j];
+        }
+    }
+}
+
+/// PQ codes re-laid-out for fast scanning: blocks of 32 vectors, one 32-byte
+/// packed-nibble plane per subspace pair. Supports incremental appends (cells
+/// of a built IVF index keep growing), padding the trailing partial block
+/// with zero codes that are never read back as scores.
+#[derive(Debug, Clone, Default)]
+pub struct FastScanCodes {
+    /// Subspaces per vector as stored by the caller (may be odd; the layout
+    /// pads odd counts with a zero subspace whose LUT is all-zero).
+    num_subspaces: usize,
+    /// `ceil(num_subspaces / 2)` nibble planes per block.
+    pairs: usize,
+    /// Number of vectors appended.
+    len: usize,
+    /// `ceil(len / 32) * pairs * 32` bytes of packed planes.
+    packed: Vec<u8>,
+}
+
+impl FastScanCodes {
+    /// Creates an empty layout for vectors of `num_subspaces` codes, each
+    /// code `< 16`.
+    pub fn new(num_subspaces: usize) -> Self {
+        Self {
+            num_subspaces,
+            pairs: num_subspaces.div_ceil(2),
+            len: 0,
+            packed: Vec::new(),
+        }
+    }
+
+    /// Number of vectors appended.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no vector has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes held by the packed layout.
+    pub fn memory_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Appends one vector's codes (one byte per subspace, each `< 16`).
+    pub fn append(&mut self, codes: &[u8]) -> Result<()> {
+        if codes.len() != self.num_subspaces {
+            return Err(IndexError::InvalidState(format!(
+                "fast-scan append of {} codes into a {}-subspace layout",
+                codes.len(),
+                self.num_subspaces
+            )));
+        }
+        if codes.iter().any(|&c| c >= FASTSCAN_CENTROIDS as u8) {
+            return Err(IndexError::InvalidState(
+                "fast-scan codes must be 4-bit (< 16 centroids per subspace)".into(),
+            ));
+        }
+        let slot = self.len % FASTSCAN_BLOCK;
+        if slot == 0 {
+            // Open a fresh zeroed block; padding slots score as garbage but
+            // are sliced off by `scores`, which only emits `len` entries.
+            self.packed
+                .resize(self.packed.len() + self.pairs * FASTSCAN_BLOCK, 0);
+        }
+        let block_base = (self.len / FASTSCAN_BLOCK) * self.pairs * FASTSCAN_BLOCK;
+        for p in 0..self.pairs {
+            let lo = codes[2 * p];
+            let hi = codes.get(2 * p + 1).copied().unwrap_or(0);
+            self.packed[block_base + p * FASTSCAN_BLOCK + slot] = (hi << 4) | lo;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Scores every appended vector against a quantized LUT, appending one
+    /// approximate f32 score per vector to `out` (same order as appended,
+    /// same shape as [`crate::pq::AdcTable::score_list`]).
+    pub fn scores(
+        &self,
+        lut: &QuantizedLut,
+        kernel: FastScanKernel,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        if lut.num_subspaces != self.num_subspaces {
+            return Err(IndexError::InvalidState(format!(
+                "quantized LUT has {} subspaces, layout has {}",
+                lut.num_subspaces, self.num_subspaces
+            )));
+        }
+        out.reserve(self.len);
+        let block_bytes = self.pairs * FASTSCAN_BLOCK;
+        let mut remaining = self.len;
+        for block in self.packed.chunks_exact(block_bytes) {
+            let mut sums = [0u16; FASTSCAN_BLOCK];
+            kernel.accumulate_block(&lut.luts, block, self.pairs, &mut sums);
+            let valid = remaining.min(FASTSCAN_BLOCK);
+            out.extend(
+                sums[..valid]
+                    .iter()
+                    .map(|&s| lut.bias + lut.delta * s as f32),
+            );
+            remaining -= valid;
+        }
+        Ok(())
+    }
+
+    /// Raw u16 block sums (before de-quantization) for every appended vector
+    /// — the bit-identity property tests compare scalar and SIMD kernels on
+    /// these exact integers.
+    pub fn raw_sums(&self, lut: &QuantizedLut, kernel: FastScanKernel) -> Vec<u16> {
+        let block_bytes = self.pairs * FASTSCAN_BLOCK;
+        let mut out = Vec::with_capacity(self.len);
+        let mut remaining = self.len;
+        for block in self.packed.chunks_exact(block_bytes) {
+            let mut sums = [0u16; FASTSCAN_BLOCK];
+            kernel.accumulate_block(&lut.luts, block, self.pairs, &mut sums);
+            let valid = remaining.min(FASTSCAN_BLOCK);
+            out.extend_from_slice(&sums[..valid]);
+            remaining -= valid;
+        }
+        out
+    }
+}
+
+/// A per-query ADC lookup table quantized to u8 for in-register shuffles.
+///
+/// Per subspace `m`, the f32 entries are shifted by their minimum and scaled
+/// by one *global* step `delta` (so u16 sums across subspaces stay
+/// commensurable): `q[m][c] = round((table[m][c] - min_m) / delta)` with
+/// `delta = max_m(range_m) / 255`. A score is reconstructed as
+/// `bias + delta * sum` where `bias = Σ_m min_m`; the worst-case error is
+/// [`QuantizedLut::error_bound`] = `num_subspaces * delta / 2`.
+#[derive(Debug, Clone)]
+pub struct QuantizedLut {
+    /// `pairs * 2` tables of 16 bytes (odd subspace counts get an all-zero
+    /// padding table matching the layout's zero padding codes).
+    luts: Vec<u8>,
+    num_subspaces: usize,
+    /// Sum of the per-subspace minima.
+    bias: f32,
+    /// Global quantization step.
+    delta: f32,
+}
+
+impl QuantizedLut {
+    /// Quantizes a f32 ADC table with 16 centroids per subspace.
+    pub fn from_adc(adc: &AdcTable) -> Result<Self> {
+        let stride = adc.stride();
+        if stride != FASTSCAN_CENTROIDS {
+            return Err(IndexError::InvalidState(format!(
+                "fast-scan needs {FASTSCAN_CENTROIDS} centroids per subspace, table has {stride}"
+            )));
+        }
+        let table = adc.raw_table();
+        let num_subspaces = table.len() / stride;
+        let mut mins = Vec::with_capacity(num_subspaces);
+        let mut max_range = 0.0f32;
+        for sub in table.chunks_exact(stride) {
+            let mut min = f32::INFINITY;
+            let mut max = f32::NEG_INFINITY;
+            for &v in sub {
+                min = min.min(v);
+                max = max.max(v);
+            }
+            max_range = max_range.max(max - min);
+            mins.push(min);
+        }
+        let delta = if max_range > 0.0 {
+            max_range / 255.0
+        } else {
+            1.0
+        };
+        let pairs = num_subspaces.div_ceil(2);
+        let mut luts = vec![0u8; pairs * 2 * FASTSCAN_CENTROIDS];
+        for (m, (sub, &min)) in table.chunks_exact(stride).zip(&mins).enumerate() {
+            for (c, &v) in sub.iter().enumerate() {
+                let q = ((v - min) / delta).round().clamp(0.0, 255.0);
+                luts[m * FASTSCAN_CENTROIDS + c] = q as u8;
+            }
+        }
+        Ok(Self {
+            luts,
+            num_subspaces,
+            bias: mins.iter().sum(),
+            delta,
+        })
+    }
+
+    /// Worst-case absolute error of a reconstructed score versus the f32 ADC
+    /// sum: each subspace contributes at most half a quantization step.
+    pub fn error_bound(&self) -> f32 {
+        self.num_subspaces as f32 * self.delta / 2.0
+    }
+
+    /// The global quantization step (benchmark diagnostic).
+    pub fn delta(&self) -> f32 {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pq::{PqConfig, ProductQuantizer};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                crate::metric::normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+
+    fn pq16(dim: usize, subspaces: usize, sample: &[Vec<f32>]) -> ProductQuantizer {
+        ProductQuantizer::train(
+            PqConfig {
+                dim,
+                num_subspaces: subspaces,
+                centroids_per_subspace: FASTSCAN_CENTROIDS,
+                seed: 0xfa57,
+            },
+            sample,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_rejects_bad_codes() {
+        let mut codes = FastScanCodes::new(4);
+        assert!(codes.append(&[1, 2, 3]).is_err());
+        assert!(codes.append(&[1, 2, 3, 16]).is_err());
+        assert!(codes.append(&[1, 2, 3, 15]).is_ok());
+        assert_eq!(codes.len(), 1);
+        assert!(!codes.is_empty());
+        assert!(codes.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn scores_match_adc_within_error_bound() {
+        let dim = 32;
+        let sample = random_vectors(400, dim, 3);
+        let pq = pq16(dim, 8, &sample);
+        let query = &sample[0];
+        let adc = pq.adc_table(query).unwrap();
+        let lut = QuantizedLut::from_adc(&adc).unwrap();
+
+        let mut packed = FastScanCodes::new(8);
+        let mut flat_codes = Vec::new();
+        for v in sample.iter().take(100) {
+            let code = pq.encode(v).unwrap();
+            packed.append(&code.0).unwrap();
+            flat_codes.extend_from_slice(&code.0);
+        }
+        let mut exact = Vec::new();
+        adc.score_list(&flat_codes, 8, &mut exact);
+        let mut fast = Vec::new();
+        packed
+            .scores(&lut, FastScanKernel::scalar(), &mut fast)
+            .unwrap();
+        assert_eq!(fast.len(), exact.len());
+        let bound = lut.error_bound() + 1e-4;
+        for (f, e) in fast.iter().zip(&exact) {
+            assert!(
+                (f - e).abs() <= bound,
+                "fast {f} vs adc {e} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn detected_kernel_sums_are_bit_identical_to_scalar() {
+        let dim = 32;
+        let sample = random_vectors(300, dim, 9);
+        let pq = pq16(dim, 8, &sample);
+        let adc = pq.adc_table(&sample[7]).unwrap();
+        let lut = QuantizedLut::from_adc(&adc).unwrap();
+        let mut packed = FastScanCodes::new(8);
+        for v in &sample {
+            packed.append(&pq.encode(v).unwrap().0).unwrap();
+        }
+        let scalar = packed.raw_sums(&lut, FastScanKernel::scalar());
+        let detected = packed.raw_sums(&lut, FastScanKernel::detect());
+        assert_eq!(scalar, detected);
+    }
+
+    #[test]
+    fn odd_subspace_count_pads_with_zero_plane() {
+        let dim = 30;
+        let sample = random_vectors(200, dim, 5);
+        let pq = pq16(dim, 5, &sample);
+        let adc = pq.adc_table(&sample[1]).unwrap();
+        let lut = QuantizedLut::from_adc(&adc).unwrap();
+        let mut packed = FastScanCodes::new(5);
+        let mut flat_codes = Vec::new();
+        for v in sample.iter().take(50) {
+            let code = pq.encode(v).unwrap();
+            packed.append(&code.0).unwrap();
+            flat_codes.extend_from_slice(&code.0);
+        }
+        let mut exact = Vec::new();
+        adc.score_list(&flat_codes, 5, &mut exact);
+        let mut fast = Vec::new();
+        packed
+            .scores(&lut, FastScanKernel::scalar(), &mut fast)
+            .unwrap();
+        let bound = lut.error_bound() + 1e-4;
+        for (f, e) in fast.iter().zip(&exact) {
+            assert!((f - e).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn partial_trailing_block_emits_exactly_len_scores() {
+        let dim = 16;
+        let sample = random_vectors(100, dim, 1);
+        let pq = pq16(dim, 4, &sample);
+        let adc = pq.adc_table(&sample[0]).unwrap();
+        let lut = QuantizedLut::from_adc(&adc).unwrap();
+        for n in [1usize, 31, 32, 33, 63, 65] {
+            let mut packed = FastScanCodes::new(4);
+            for v in sample.iter().take(n) {
+                packed.append(&pq.encode(v).unwrap().0).unwrap();
+            }
+            let mut fast = Vec::new();
+            packed
+                .scores(&lut, FastScanKernel::scalar(), &mut fast)
+                .unwrap();
+            assert_eq!(fast.len(), n);
+        }
+    }
+
+    #[test]
+    fn lut_requires_16_centroids() {
+        let dim = 16;
+        let sample = random_vectors(200, dim, 2);
+        let pq = ProductQuantizer::train(
+            PqConfig {
+                dim,
+                num_subspaces: 4,
+                centroids_per_subspace: 32,
+                seed: 1,
+            },
+            &sample,
+        )
+        .unwrap();
+        let adc = pq.adc_table(&sample[0]).unwrap();
+        assert!(QuantizedLut::from_adc(&adc).is_err());
+    }
+
+    #[test]
+    fn kernel_names_and_scalar_pin() {
+        assert_eq!(FastScanKernel::scalar().name(), "scalar");
+        assert!(!FastScanKernel::scalar().is_simd());
+        // Detection never fails; its name is one of the known kernels.
+        let k = FastScanKernel::detect();
+        assert!(["scalar", "avx2"].contains(&k.name()));
+    }
+
+    #[test]
+    fn lut_mismatch_is_an_error() {
+        let dim = 32;
+        let sample = random_vectors(200, dim, 4);
+        let pq = pq16(dim, 8, &sample);
+        let adc = pq.adc_table(&sample[0]).unwrap();
+        let lut = QuantizedLut::from_adc(&adc).unwrap();
+        let packed = FastScanCodes::new(4);
+        let mut out = Vec::new();
+        assert!(packed
+            .scores(&lut, FastScanKernel::scalar(), &mut out)
+            .is_err());
+        assert!(lut.delta() > 0.0);
+    }
+}

@@ -137,6 +137,11 @@ impl VectorIndex for FlatIndex {
         let mut top = TopK::new(k);
         let mut scores: Vec<f32> = Vec::with_capacity(SCAN_BLOCK_ROWS.min(self.ids.len()));
         let mut mask: Vec<bool> = Vec::with_capacity(SCAN_BLOCK_ROWS);
+        // Masked-batch scratch for mixed blocks: the passing rows compact
+        // into one contiguous run so the batch kernel streams them exactly
+        // like an all-pass block.
+        let mut gathered: Vec<f32> = Vec::new();
+        let mut gathered_ids: Vec<VectorId> = Vec::new();
         let mut scored = 0usize;
         let mut filtered_out = 0usize;
         if !self.data.is_empty() {
@@ -156,14 +161,26 @@ impl VectorIndex for FlatIndex {
                         top.push_hit(self.ids[base_row + offset], score);
                     }
                 } else if pass > 0 {
+                    // Mixed block: gather the passing rows and run the batch
+                    // kernel once — the metric dispatch is hoisted out of the
+                    // row loop, and `score_batch` delegates to the same
+                    // per-row kernel, so scores are bit-identical to the
+                    // per-row path this replaced.
+                    gathered.clear();
+                    gathered_ids.clear();
                     for (offset, &keep) in mask.iter().enumerate() {
                         if keep {
-                            let row = &block[offset * self.dim..(offset + 1) * self.dim];
-                            top.push_hit(
-                                self.ids[base_row + offset],
-                                self.metric.score(query, row),
+                            gathered.extend_from_slice(
+                                &block[offset * self.dim..(offset + 1) * self.dim],
                             );
+                            gathered_ids.push(self.ids[base_row + offset]);
                         }
+                    }
+                    scores.clear();
+                    self.metric
+                        .score_batch(query, &gathered, self.dim, &mut scores);
+                    for (&id, &score) in gathered_ids.iter().zip(&scores) {
+                        top.push_hit(id, score);
                     }
                 }
                 base_row += rows;

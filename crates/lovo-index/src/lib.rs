@@ -19,7 +19,12 @@
 //!   scoring, Top-A cluster selection, residual-corrected approximate scores,
 //!   exact re-scoring of the top-k, and the patch-id majority vote;
 //! * [`hnsw`] — a hierarchical navigable small-world graph index;
-//! * [`flat`] — exhaustive (brute-force) search, the accuracy upper bound.
+//! * [`flat`] — exhaustive (brute-force) search, the accuracy upper bound;
+//! * [`fastscan`] — 4-bit fast-scan PQ kernels: blocked nibble layout,
+//!   u8-quantized lookup tables, runtime-dispatched SIMD (`pshufb`) with a
+//!   bit-identical scalar fallback;
+//! * [`quant`] — int8 scalar quantization of row storage with per-row affine
+//!   parameters and exact-f32 re-scoring of final candidates.
 //!
 //! All indexes implement the common [`VectorIndex`] trait so the storage layer
 //! (`lovo-store`) and LOVO itself can switch between them (the Table V
@@ -27,18 +32,22 @@
 
 #![warn(missing_docs)]
 
+pub mod fastscan;
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;
 pub mod kmeans;
 pub mod metric;
 pub mod pq;
+pub mod quant;
 
+pub use fastscan::{FastScanCodes, FastScanKernel, QuantizedLut, DISABLE_SIMD_ENV};
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfPqConfig, IvfPqIndex};
 pub use metric::Metric;
 pub use pq::{PqCode, PqConfig, ProductQuantizer};
+pub use quant::{Int8Arena, QuantizedFlatIndex};
 
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +123,12 @@ pub struct SearchStats {
     /// codes skipped before ADC scoring, graph nodes visited but not
     /// accepted into the beam).
     pub filtered_out: usize,
+    /// Number of segments scanned by intra-query parallel workers. 0 for a
+    /// sequential walk; equal to `segments_probed` when the collection layer
+    /// split one query's segments across threads (each worker counts the
+    /// segments it claimed; the merge sums them, so the total is
+    /// deterministic regardless of work-stealing order).
+    pub parallel_segments: usize,
 }
 
 impl SearchStats {
@@ -128,6 +143,7 @@ impl SearchStats {
         self.segments_pruned += other.segments_pruned;
         self.heap_pushes += other.heap_pushes;
         self.filtered_out += other.filtered_out;
+        self.parallel_segments += other.parallel_segments;
     }
 }
 
@@ -438,6 +454,47 @@ impl IndexKind {
 /// build cost; segments below this threshold fall back to brute force.
 pub const MIN_TRAINED_SEGMENT_ROWS: usize = 256;
 
+/// Quantization tiers applied when a segment seals, carried on the storage
+/// layer's collection configuration. The selection rides *alongside*
+/// [`IndexKind`] rather than adding variants to it, so the Table V experiment
+/// loops over `IndexKind::ALL` are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QuantizationOptions {
+    /// Seal brute-force segments as [`QuantizedFlatIndex`] (int8 rows with
+    /// exact-f32 re-scoring) instead of [`FlatIndex`]. Inner-product only.
+    pub int8_flat: bool,
+    /// Seal IVF-PQ segments with 4-bit fast-scan residual codes (16 centroids
+    /// per subspace, blocked nibble layout, SIMD LUT kernels).
+    pub fastscan_pq: bool,
+    /// Add an int8 pre-rescore tier to IVF-PQ segments: candidates are first
+    /// narrowed against the quantized arena, and only the survivors touch the
+    /// exact f32 arena.
+    pub int8_rescore: bool,
+}
+
+impl QuantizationOptions {
+    /// No quantization: the exact configuration previous releases shipped.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every quantization tier enabled — the fastest configuration at 100k+
+    /// rows; quality is governed by the measured recall curve
+    /// (`fastscan_bench --curve`).
+    pub fn all() -> Self {
+        Self {
+            int8_flat: true,
+            fastscan_pq: true,
+            int8_rescore: true,
+        }
+    }
+
+    /// True when any tier is enabled.
+    pub fn any(&self) -> bool {
+        self.int8_flat || self.fastscan_pq || self.int8_rescore
+    }
+}
+
 /// Creates an index of the given family for `dim`-dimensional vectors using
 /// default parameters sized for the reproduction's workloads.
 pub fn create_index(kind: IndexKind, dim: usize) -> Result<Box<dyn VectorIndex>> {
@@ -462,16 +519,42 @@ pub fn create_segment_index(
     dim: usize,
     rows: usize,
 ) -> Result<Box<dyn VectorIndex>> {
+    create_segment_index_with(kind, dim, rows, QuantizationOptions::none())
+}
+
+/// [`create_segment_index`] with explicit seal-time quantization tiers: int8
+/// flat storage replaces the exact flat family (including the small-segment
+/// IVF fallback), and IVF-PQ segments can enable 4-bit fast-scan codes and/or
+/// the int8 pre-rescore arena.
+pub fn create_segment_index_with(
+    kind: IndexKind,
+    dim: usize,
+    rows: usize,
+    quantization: QuantizationOptions,
+) -> Result<Box<dyn VectorIndex>> {
+    let flat = |dim: usize| -> Box<dyn VectorIndex> {
+        if quantization.int8_flat {
+            Box::new(QuantizedFlatIndex::new(dim))
+        } else {
+            Box::new(FlatIndex::new(dim))
+        }
+    };
     match kind {
-        IndexKind::IvfPq if rows < MIN_TRAINED_SEGMENT_ROWS => Ok(Box::new(FlatIndex::new(dim))),
+        IndexKind::BruteForce => Ok(flat(dim)),
+        IndexKind::IvfPq if rows < MIN_TRAINED_SEGMENT_ROWS => Ok(flat(dim)),
         IndexKind::IvfPq => {
             let base = IvfPqConfig::for_dim(dim);
             let centroids = (rows / 8).clamp(4, base.coarse_centroids);
-            Ok(Box::new(IvfPqIndex::new(
-                base.with_coarse_centroids(centroids),
-            )?))
+            let mut config = base.with_coarse_centroids(centroids);
+            if quantization.fastscan_pq {
+                config = config.with_fastscan();
+            }
+            if quantization.int8_rescore {
+                config = config.with_int8_rescore();
+            }
+            Ok(Box::new(IvfPqIndex::new(config)?))
         }
-        other => create_index(other, dim),
+        IndexKind::Hnsw => create_index(kind, dim),
     }
 }
 
@@ -505,6 +588,7 @@ mod tests {
             segments_pruned: 4,
             heap_pushes: 11,
             filtered_out: 2,
+            parallel_segments: 1,
         };
         a.merge(&SearchStats {
             vectors_scored: 7,
@@ -514,6 +598,7 @@ mod tests {
             segments_pruned: 1,
             heap_pushes: 6,
             filtered_out: 3,
+            parallel_segments: 2,
         });
         assert_eq!(a.vectors_scored, 17);
         assert_eq!(a.cells_probed, 5);
@@ -522,6 +607,7 @@ mod tests {
         assert_eq!(a.segments_pruned, 5);
         assert_eq!(a.heap_pushes, 17);
         assert_eq!(a.filtered_out, 5);
+        assert_eq!(a.parallel_segments, 3);
     }
 
     #[test]

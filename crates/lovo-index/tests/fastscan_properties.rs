@@ -1,0 +1,166 @@
+//! Property tests for the quantized scan tier: the 4-bit fast-scan layout
+//! must track the f32 ADC scores within the quantized LUT's declared error
+//! bound, the scalar fallback must be *bit-identical* to whatever kernel
+//! runtime detection picks (the SIMD path does the same u8 lookups and u16
+//! adds, just 32 at a time), and the int8 flat index's exact-rescore design
+//! must keep recall against the f32 flat index above a hard floor.
+
+use lovo_index::metric::normalize;
+use lovo_index::pq::{PqConfig, ProductQuantizer};
+use lovo_index::{
+    FastScanCodes, FastScanKernel, FlatIndex, QuantizedFlatIndex, QuantizedLut, VectorIndex,
+};
+use proptest::prelude::*;
+
+const FASTSCAN_CENTROIDS: usize = 16;
+
+/// Builds unit vectors from raw proptest floats (normalization keeps the
+/// inner-product scores in a sane range without constraining the generator).
+fn unit_rows(raw: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    raw.iter()
+        .map(|row| {
+            let mut v = row.clone();
+            // An all-zero row normalizes to zero; nudge it off the origin so
+            // every row is a valid unit vector.
+            if v.iter().all(|&x| x.abs() < 1e-6) {
+                v[0] = 1.0;
+            }
+            normalize(&mut v);
+            v
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case trains a 16-centroid PQ (Lloyd's iterations), so the case
+    // count stays low; the assertions inside each case cover every row.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Fast-scan scores = bias + delta * u16_sum must stay within the LUT's
+    // declared worst-case quantization error of the exact f32 ADC scores,
+    // for every row including the padded trailing partial block.
+    #[test]
+    fn fast_scan_tracks_adc_within_error_bound(
+        raw in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 16), 40..90),
+        qraw in prop::collection::vec(-1.0f32..1.0, 16),
+    ) {
+        let rows = unit_rows(&raw);
+        let query = unit_rows(std::slice::from_ref(&qraw)).remove(0);
+        let pq = ProductQuantizer::train(
+            PqConfig {
+                dim: 16,
+                num_subspaces: 4,
+                centroids_per_subspace: FASTSCAN_CENTROIDS,
+                seed: 0xfa57,
+            },
+            &rows,
+        )
+        .unwrap();
+        let adc = pq.adc_table(&query).unwrap();
+        let lut = QuantizedLut::from_adc(&adc).unwrap();
+
+        let mut packed = FastScanCodes::new(4);
+        let mut flat_codes = Vec::new();
+        for row in &rows {
+            let code = pq.encode(row).unwrap();
+            packed.append(&code.0).unwrap();
+            flat_codes.extend_from_slice(&code.0);
+        }
+        let mut exact = Vec::new();
+        adc.score_list(&flat_codes, 4, &mut exact);
+        let mut fast = Vec::new();
+        packed.scores(&lut, FastScanKernel::scalar(), &mut fast).unwrap();
+        prop_assert_eq!(fast.len(), exact.len());
+        // Small f32 slack on top of the integer-quantization bound: the
+        // reconstruction multiplies the u16 sum by delta in f32.
+        let bound = lut.error_bound() + 1e-4;
+        for (f, e) in fast.iter().zip(&exact) {
+            prop_assert!((f - e).abs() <= bound, "fast {} vs adc {} (bound {})", f, e, bound);
+        }
+    }
+
+    // The detected kernel (AVX2 where the host supports it, scalar
+    // otherwise) must produce the same raw u16 sums as the scalar fallback,
+    // bit for bit, and therefore identical f32 scores. Arbitrary codes — not
+    // just trained ones — so the equivalence is over the whole input domain.
+    #[test]
+    fn detected_kernel_is_bit_identical_to_scalar_fallback(
+        codes in prop::collection::vec(prop::collection::vec(0u8..16, 5), 1..70),
+        luts in prop::collection::vec(prop::collection::vec(0u8..255, FASTSCAN_CENTROIDS), 5),
+        delta_step in 1u32..200,
+    ) {
+        // Build the LUT through the public f32 path: a synthetic ADC table
+        // whose entries are exact multiples of one shared delta with a zero
+        // per-subspace minimum, so quantization reproduces the arbitrary u8
+        // tables exactly and the kernels see the full u8 input domain.
+        let delta = delta_step as f32 * 1e-3;
+        let table: Vec<f32> = luts
+            .iter()
+            .flat_map(|sub| {
+                // Force each subspace's minimum to 0 so the quantizer's
+                // per-subspace shift is the identity.
+                let mut sub = sub.clone();
+                sub[0] = 0;
+                sub.into_iter().map(move |q| q as f32 * delta)
+            })
+            .collect();
+        let adc = lovo_index::pq::AdcTable::from_raw(table, FASTSCAN_CENTROIDS).unwrap();
+        let lut = QuantizedLut::from_adc(&adc).unwrap();
+
+        let mut packed = FastScanCodes::new(5);
+        for code in &codes {
+            packed.append(code).unwrap();
+        }
+        let scalar_sums = packed.raw_sums(&lut, FastScanKernel::scalar());
+        let detected_sums = packed.raw_sums(&lut, FastScanKernel::detect());
+        prop_assert_eq!(&scalar_sums, &detected_sums);
+
+        let mut scalar_scores = Vec::new();
+        packed.scores(&lut, FastScanKernel::scalar(), &mut scalar_scores).unwrap();
+        let mut detected_scores = Vec::new();
+        packed.scores(&lut, FastScanKernel::detect(), &mut detected_scores).unwrap();
+        prop_assert_eq!(scalar_scores, detected_scores);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The int8 flat index overfetches and exactly re-scores, so (a) every
+    // score it returns must equal the f32 flat index's score for that id,
+    // and (b) recall@k against the exact top-k must stay above a hard floor
+    // (in practice it is ~1.0; 0.6 catches any structural regression
+    // without flaking on adversarial random draws).
+    #[test]
+    fn int8_flat_rescoring_keeps_recall_above_floor(
+        raw in prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 12), 30..120),
+        qraw in prop::collection::vec(-1.0f32..1.0, 12),
+        k in 1usize..8,
+    ) {
+        let rows = unit_rows(&raw);
+        let query = unit_rows(std::slice::from_ref(&qraw)).remove(0);
+        let mut quantized = QuantizedFlatIndex::new(12);
+        let mut exact = FlatIndex::new(12);
+        for (i, row) in rows.iter().enumerate() {
+            quantized.insert(i as u64, row).unwrap();
+            exact.insert(i as u64, row).unwrap();
+        }
+        let approx_hits = quantized.search(&query, k).unwrap();
+        let exact_hits = exact.search(&query, k).unwrap();
+        prop_assert_eq!(approx_hits.len(), exact_hits.len());
+
+        // (a) Returned scores are exact f32 inner products.
+        for hit in &approx_hits {
+            let row = &rows[hit.id as usize];
+            let truth = lovo_index::metric::dot(&query, row);
+            prop_assert_eq!(hit.score, truth, "id {} not exactly rescored", hit.id);
+        }
+
+        // (b) Recall floor against the exact top-k.
+        let truth_ids: std::collections::HashSet<u64> =
+            exact_hits.iter().map(|h| h.id).collect();
+        let recalled = approx_hits.iter().filter(|h| truth_ids.contains(&h.id)).count();
+        let recall = recalled as f64 / exact_hits.len().max(1) as f64;
+        prop_assert!(recall >= 0.6, "recall@{} = {:.2}", k, recall);
+    }
+}

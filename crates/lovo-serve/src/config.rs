@@ -37,6 +37,14 @@ pub struct ServeConfig {
     /// direct database writes; the floor avoids mass-producing tiny segments
     /// that the next compaction would immediately re-merge.
     pub maintenance_seal_min_rows: usize,
+    /// Intra-query fan-out workers donated to a batch's coarse search.
+    /// `0` (the default) sizes the donation automatically from *idle* pool
+    /// capacity: a lone query on an otherwise-idle service splits its sealed
+    /// segments across the cores the other workers would have used, while a
+    /// fully loaded pool keeps every query on one thread (inter-query
+    /// parallelism already saturates the machine). A non-zero value forces
+    /// that many fan-out workers for every executed batch.
+    pub intra_query_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +58,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             maintenance_interval: Some(Duration::from_millis(500)),
             maintenance_seal_min_rows: 256,
+            intra_query_threads: 0,
         }
     }
 }
@@ -90,6 +99,13 @@ impl ServeConfig {
     /// maintenance thread).
     pub fn with_maintenance_interval(mut self, interval: Option<Duration>) -> Self {
         self.maintenance_interval = interval;
+        self
+    }
+
+    /// Builder-style intra-query fan-out override (`0` = automatic from idle
+    /// pool capacity).
+    pub fn with_intra_query_threads(mut self, threads: usize) -> Self {
+        self.intra_query_threads = threads;
         self
     }
 
@@ -143,12 +159,14 @@ mod tests {
             .with_batch_window(Duration::from_millis(2))
             .with_max_batch(16)
             .with_cache_capacity(64)
-            .with_maintenance_interval(None);
+            .with_maintenance_interval(None)
+            .with_intra_query_threads(3);
         assert_eq!(config.workers, 4);
         assert_eq!(config.queue_depth, 8);
         assert_eq!(config.batch_window, Duration::from_millis(2));
         assert_eq!(config.max_batch, 16);
         assert_eq!(config.cache_capacity, 64);
         assert_eq!(config.maintenance_interval, None);
+        assert_eq!(config.intra_query_threads, 3);
     }
 }

@@ -9,9 +9,12 @@
 
 use crate::segment::{Segment, ZoneMap};
 use crate::Result;
-use lovo_index::{IdFilter, IndexKind, SearchResult, SearchStats, TopK, VectorId};
+use lovo_index::{
+    IdFilter, IndexKind, QuantizationOptions, SearchResult, SearchStats, TopK, VectorId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of rows after which the growing segment seals.
 pub const DEFAULT_SEGMENT_CAPACITY: usize = 4096;
@@ -35,6 +38,10 @@ pub struct CollectionConfig {
     /// Bounds per-segment build cost; smaller values seal (and parallelize)
     /// more eagerly at the price of a wider search fan-out.
     pub segment_capacity: usize,
+    /// Quantized scan acceleration applied to segment indexes at seal time
+    /// (int8 flat stores, 4-bit fast-scan PQ, int8 rescore arenas). Off by
+    /// default; results stay exact-rescored when enabled.
+    pub quantization: QuantizationOptions,
 }
 
 impl CollectionConfig {
@@ -45,6 +52,7 @@ impl CollectionConfig {
             index_kind: IndexKind::IvfPq,
             normalize: true,
             segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+            quantization: QuantizationOptions::none(),
         }
     }
 
@@ -57,6 +65,12 @@ impl CollectionConfig {
     /// Builder-style segment capacity override.
     pub fn with_segment_capacity(mut self, capacity: usize) -> Self {
         self.segment_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style quantization override, applied when segments seal.
+    pub fn with_quantization(mut self, quantization: QuantizationOptions) -> Self {
+        self.quantization = quantization;
         self
     }
 }
@@ -177,7 +191,8 @@ impl SegmentedCollection {
     pub fn new(name: impl Into<String>, config: CollectionConfig) -> Result<Self> {
         Ok(Self {
             name: name.into(),
-            growing: Segment::new(0, config.dim, config.index_kind),
+            growing: Segment::new(0, config.dim, config.index_kind)
+                .with_quantization(config.quantization),
             config,
             sealed: Vec::new(),
             next_segment_id: 1,
@@ -286,7 +301,8 @@ impl SegmentedCollection {
                 self.next_segment_id,
                 self.config.dim,
                 self.config.index_kind,
-            ),
+            )
+            .with_quantization(self.config.quantization),
         );
         self.next_segment_id += 1;
         self.index_builds += 1;
@@ -347,7 +363,8 @@ impl SegmentedCollection {
                 self.next_segment_id + merged_segments.len() as u64,
                 self.config.dim,
                 self.config.index_kind,
-            );
+            )
+            .with_quantization(self.config.quantization);
             for &position in group {
                 for (id, row) in self.sealed[position].raw_rows() {
                     // Rows were normalized on first insert; copy verbatim.
@@ -415,6 +432,21 @@ impl SegmentedCollection {
         &self,
         requests: &[BatchQuery<'_>],
     ) -> Result<Vec<(Vec<SearchResult>, SearchStats)>> {
+        self.search_batch_with_stats_opts(requests, 0)
+    }
+
+    /// [`SegmentedCollection::search_batch_with_stats`] with an explicit
+    /// intra-query worker count. `0` sizes the pool automatically (hardware
+    /// parallelism, skipped entirely for workloads too small to amortize the
+    /// thread spawns); an explicit non-zero count forces that many fan-out
+    /// workers even below the sequential threshold, which is how a serving
+    /// layer donates idle worker capacity to a single in-flight query — and
+    /// how the parallel path is exercised deterministically on one-core CI.
+    pub fn search_batch_with_stats_opts(
+        &self,
+        requests: &[BatchQuery<'_>],
+        intra_query_threads: usize,
+    ) -> Result<Vec<(Vec<SearchResult>, SearchStats)>> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
@@ -441,27 +473,40 @@ impl SegmentedCollection {
                 .collect());
         }
 
-        // Fan out over at most `available_parallelism` scoped threads, each
-        // probing a chunk of segments — one thread per segment would pay a
-        // spawn per probe, which dominates once appends fragment the
-        // collection into many small segments. Workloads small enough that
-        // the spawn overhead rivals the scan work are probed sequentially;
-        // the scan work scales with the *batch size as well as* the row
-        // count, so a large batch over a small collection still parallelizes.
-        // Each worker keeps ONE reused merge scratch per query and folds
-        // segment hits in as they finish, instead of collecting a
+        // Fan out over scoped worker threads that *steal* segments from a
+        // shared atomic claim counter — static chunking stalls the whole
+        // fan-out on whichever chunk drew the largest segments, while
+        // claim-per-segment keeps every worker busy until the probe list is
+        // drained. One thread per segment would pay a spawn per probe, which
+        // dominates once appends fragment the collection into many small
+        // segments. With the automatic worker count (0), workloads small
+        // enough that the spawn overhead rivals the scan work are probed
+        // sequentially; the scan work scales with the *batch size as well
+        // as* the row count, so a large batch over a small collection still
+        // parallelizes. Each worker keeps ONE reused merge scratch per query
+        // and folds segment hits in as they finish, instead of collecting a
         // per-segment result vec.
         let total_rows: usize = probes.iter().map(|segment| segment.len()).sum();
-        let sequential =
-            probes.len() == 1 || total_rows.saturating_mul(requests.len()) < SEQUENTIAL_SEARCH_ROWS;
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(probes.len());
-        let scan_chunk = |chunk: &[&Segment]| -> Result<Vec<MergeScratch>> {
+        let sequential = probes.len() == 1
+            || (intra_query_threads == 0
+                && total_rows.saturating_mul(requests.len()) < SEQUENTIAL_SEARCH_ROWS);
+        let workers = if intra_query_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            intra_query_threads
+        }
+        .min(probes.len());
+        let next_probe = AtomicUsize::new(0);
+        let scan_claimed = |parallel: bool| -> Result<Vec<MergeScratch>> {
             let mut scratches: Vec<MergeScratch> =
                 requests.iter().map(|_| MergeScratch::default()).collect();
-            for segment in chunk {
+            loop {
+                let position = next_probe.fetch_add(1, Ordering::Relaxed);
+                let Some(segment) = probes.get(position) else {
+                    break;
+                };
                 for ((request, query), scratch) in
                     requests.iter().zip(&normalized).zip(&mut scratches)
                 {
@@ -469,25 +514,27 @@ impl SegmentedCollection {
                         (Some(filter), Some(zone)) if !filter.might_match(&zone) => {
                             scratch.stats.segments_pruned += 1;
                         }
-                        _ => scratch.fold(segment.search_filtered_with_stats(
-                            query,
-                            request.k,
-                            request.filter.map(PushdownFilter::id_filter),
-                        )?),
+                        _ => {
+                            scratch.fold(segment.search_filtered_with_stats(
+                                query,
+                                request.k,
+                                request.filter.map(PushdownFilter::id_filter),
+                            )?);
+                            if parallel {
+                                scratch.stats.parallel_segments += 1;
+                            }
+                        }
                     }
                 }
             }
             Ok(scratches)
         };
-        let per_thread: Vec<Vec<MergeScratch>> = if sequential {
-            vec![scan_chunk(&probes)?]
+        let per_thread: Vec<Vec<MergeScratch>> = if sequential || workers <= 1 {
+            vec![scan_claimed(false)?]
         } else {
-            let chunk_size = probes.len().div_ceil(workers);
-            let chunks: Vec<&[&Segment]> = probes.chunks(chunk_size).collect();
             std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| scope.spawn(|| scan_chunk(chunk)))
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(|| scan_claimed(true)))
                     .collect();
                 handles
                     .into_iter()
@@ -829,6 +876,89 @@ mod tests {
         assert_eq!(batched[2], single_c);
         assert!(batched[1].0.iter().all(|h| h.id < 200));
         assert!(c.search_batch_with_stats(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forced_intra_query_workers_match_sequential_results() {
+        // A single query over many sealed segments, far below the sequential
+        // threshold: automatic sizing scans sequentially, while an explicit
+        // worker count forces the work-stealing parallel path. Hits and merged
+        // counters must be identical either way (the claim order is
+        // nondeterministic, but the per-id best-score merge is order-free);
+        // only `parallel_segments` tells the two paths apart.
+        let cfg = CollectionConfig::new(16)
+            .with_index_kind(IndexKind::BruteForce)
+            .with_segment_capacity(25);
+        let mut c = SegmentedCollection::new("steal", cfg).unwrap();
+        let vectors = sample_vectors(400, 16);
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        c.seal().unwrap();
+        assert_eq!(c.stats().sealed_segments, 16);
+        for probe in [3usize, 210, 388] {
+            let query = vectors[probe].clone();
+            let batch = [BatchQuery {
+                query: query.as_slice(),
+                k: 9,
+                filter: None,
+            }];
+            let sequential = c.search_batch_with_stats_opts(&batch, 0).unwrap();
+            let parallel = c.search_batch_with_stats_opts(&batch, 4).unwrap();
+            assert_eq!(sequential[0].0, parallel[0].0, "probe {probe}");
+            assert_eq!(sequential[0].1.parallel_segments, 0);
+            assert_eq!(parallel[0].1.parallel_segments, 16, "probe {probe}");
+            assert_eq!(
+                parallel[0].1.segments_probed,
+                sequential[0].1.segments_probed
+            );
+            assert_eq!(parallel[0].1.vectors_scored, sequential[0].1.vectors_scored);
+        }
+        // A forced worker count of 1 stays on the sequential path.
+        let query = vectors[3].clone();
+        let batch = [BatchQuery {
+            query: query.as_slice(),
+            k: 9,
+            filter: None,
+        }];
+        let one = c.search_batch_with_stats_opts(&batch, 1).unwrap();
+        assert_eq!(one[0].1.parallel_segments, 0);
+    }
+
+    #[test]
+    fn quantized_collection_seals_quantized_segments_and_stays_accurate() {
+        use lovo_index::QuantizationOptions;
+        let cfg = CollectionConfig::new(16)
+            .with_index_kind(IndexKind::BruteForce)
+            .with_segment_capacity(100)
+            .with_quantization(QuantizationOptions {
+                int8_flat: true,
+                ..QuantizationOptions::none()
+            });
+        let mut c = SegmentedCollection::new("sq8", cfg).unwrap();
+        let vectors = sample_vectors(300, 16);
+        for (i, v) in vectors.iter().enumerate() {
+            c.insert(i as u64, v).unwrap();
+        }
+        c.seal().unwrap();
+        // Self-queries survive the int8 scan because the final candidates are
+        // rescored against exact f32 rows.
+        for probe in [0usize, 144, 299] {
+            let hits = c.search(&vectors[probe], 3).unwrap();
+            assert_eq!(hits[0].id, probe as u64, "probe {probe}");
+        }
+        // Compaction rebuilds also inherit the quantization options.
+        let cfg2 = cfg.with_segment_capacity(40);
+        let mut frag = SegmentedCollection::new("sq8-frag", cfg2).unwrap();
+        for (i, v) in vectors.iter().enumerate().take(60) {
+            frag.insert(i as u64, v).unwrap();
+            if (i + 1) % 15 == 0 {
+                frag.seal().unwrap();
+            }
+        }
+        assert!(frag.compact().unwrap().segments_created >= 1);
+        let hits = frag.search(&vectors[17], 1).unwrap();
+        assert_eq!(hits[0].id, 17);
     }
 
     #[test]

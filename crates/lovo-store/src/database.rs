@@ -244,11 +244,24 @@ impl VectorDatabase {
         collection: &str,
         requests: &[BatchQuery<'_>],
     ) -> Result<Vec<(Vec<JoinedHit>, SearchStats)>> {
+        self.search_batch_with_stats_opts(collection, requests, 0)
+    }
+
+    /// [`VectorDatabase::search_batch_with_stats`] with an explicit
+    /// intra-query fan-out worker count (`0` = automatic). Serving layers
+    /// pass their idle worker capacity here so a lone query under low load
+    /// can split its sealed segments across otherwise-idle cores.
+    pub fn search_batch_with_stats_opts(
+        &self,
+        collection: &str,
+        requests: &[BatchQuery<'_>],
+        intra_query_threads: usize,
+    ) -> Result<Vec<(Vec<JoinedHit>, SearchStats)>> {
         let collections = self.collections.read();
         let col = collections
             .get(collection)
             .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
-        let results = col.search_batch_with_stats(requests)?;
+        let results = col.search_batch_with_stats_opts(requests, intra_query_threads)?;
         results
             .into_iter()
             .map(|(hits, stats)| Ok((self.join_hits(hits)?, stats)))

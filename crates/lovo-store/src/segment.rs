@@ -15,8 +15,8 @@
 
 use crate::{Result, StoreError};
 use lovo_index::{
-    create_segment_index, FlatIndex, IdFilter, IndexKind, SearchResult, SearchStats, VectorId,
-    VectorIndex,
+    create_segment_index_with, FlatIndex, IdFilter, IndexKind, QuantizationOptions, SearchResult,
+    SearchStats, VectorId, VectorIndex,
 };
 
 /// Zone map of a segment: the inclusive range of packed patch ids it holds
@@ -59,6 +59,8 @@ pub struct Segment {
     /// Index family used when the segment seals (the growing phase always
     /// scans the buffer).
     target_kind: IndexKind,
+    /// Quantized scan acceleration requested for the sealed index.
+    quantization: QuantizationOptions,
     /// The raw rows, kept after sealing for compaction. A flat index doubles
     /// as the append buffer and the growing phase's exact search.
     buffer: FlatIndex,
@@ -75,10 +77,17 @@ impl Segment {
             id,
             dim,
             target_kind,
+            quantization: QuantizationOptions::none(),
             buffer: FlatIndex::new(dim),
             index: None,
             zone: None,
         }
+    }
+
+    /// Builder-style quantization override, consulted when the segment seals.
+    pub fn with_quantization(mut self, quantization: QuantizationOptions) -> Self {
+        self.quantization = quantization;
+        self
     }
 
     /// Segment identifier (unique within its collection).
@@ -156,7 +165,8 @@ impl Segment {
         if self.is_sealed() {
             return Ok(());
         }
-        let mut index = create_segment_index(self.target_kind, self.dim, self.len())?;
+        let mut index =
+            create_segment_index_with(self.target_kind, self.dim, self.len(), self.quantization)?;
         for (id, row) in self.buffer.rows() {
             index.insert(id, row)?;
         }
