@@ -121,6 +121,11 @@ pub fn default_config(hierarchy: &[(String, String)]) -> Config {
                 "lovo-index/src/pq.rs".to_string(),
                 "lovo-index/src/fastscan.rs".to_string(),
                 "lovo-index/src/quant.rs".to_string(),
+                // The durability layer: recovery code that panics on a
+                // corrupt byte defeats its whole purpose — every parse
+                // failure must surface as a typed StorageError (quarantine,
+                // truncate, or report) instead.
+                "lovo-store/src/durability".to_string(),
             ],
             index_paths: vec![
                 "lovo-serve/src/service.rs".to_string(),

@@ -1,0 +1,211 @@
+//! Durability cost benchmark (PR 8): what crash safety costs at open and at
+//! query time.
+//!
+//! Three measurements, emitted as one JSON document (`--out BENCH_pr8.json`):
+//!
+//! 1. **Cold open** — `Lovo::build_durable` over a generated collection,
+//!    drop, `Lovo::open`: wall-clock to rebuild the full engine (segment
+//!    files -> vectors -> deterministic index rebuild -> key-frame blobs).
+//! 2. **WAL replay rate** — a store whose rows all live in the log (never
+//!    sealed): rows/s and MB/s through `open_durable`'s replay path.
+//! 3. **Reopened vs in-memory QPS** — the same query set against the
+//!    reopened engine and a never-persisted twin, asserting identical
+//!    results; any gap is recovery-induced (it should be ~zero, since the
+//!    rebuilt indexes are bit-identical).
+
+use lovo_core::{DurabilityConfig, Lovo, LovoConfig};
+use lovo_store::{patch_id, CollectionConfig, PatchRecord, VectorDatabase};
+use lovo_video::{DatasetConfig, DatasetKind, VideoCollection};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const QUERIES: &[&str] = &[
+    "a red car driving in the center of the road",
+    "a bus on the road",
+    "a person walking on the sidewalk",
+    "a truck carrying cargo",
+];
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("lovo-recovery-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn qps(lovo: &Lovo, rounds: usize) -> (f64, usize) {
+    // Warm-up pass so encoder one-time setup doesn't pollute the clock.
+    let mut results = 0usize;
+    for q in QUERIES {
+        results += lovo.query(q).expect("query").frames.len();
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in QUERIES {
+            lovo.query(q).expect("query");
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    ((rounds * QUERIES.len()) as f64 / seconds, results)
+}
+
+fn bench_engine(frames: usize, rounds: usize) -> String {
+    let root = scratch_root("engine");
+    let footage = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_frames_per_video(frames)
+            .with_seed(7),
+    );
+    let config = LovoConfig::default();
+
+    let build_start = Instant::now();
+    let durable = Lovo::build_durable(&footage, config, &root, DurabilityConfig::new())
+        .expect("build durable");
+    let build_seconds = build_start.elapsed().as_secs_f64();
+    let patches = durable.collection_stats().entities;
+    let segments = durable.collection_stats().sealed_segments;
+    drop(durable);
+
+    let open_start = Instant::now();
+    let (reopened, report) =
+        Lovo::open(config, &root, DurabilityConfig::new()).expect("open durable");
+    let cold_open_seconds = open_start.elapsed().as_secs_f64();
+    assert!(
+        report.is_clean(),
+        "bench store must recover cleanly: {report:?}"
+    );
+
+    let twin = Lovo::build(&footage, config).expect("build twin");
+    let (qps_reopened, results_reopened) = qps(&reopened, rounds);
+    let (qps_in_memory, results_in_memory) = qps(&twin, rounds);
+    let identical = QUERIES.iter().all(|q| {
+        twin.query(q).expect("twin query").frames == reopened.query(q).expect("query").frames
+    });
+    assert_eq!(results_reopened, results_in_memory);
+
+    let _ = std::fs::remove_dir_all(&root);
+    format!(
+        "  \"engine\": {{\"frames_per_video\": {frames}, \"patches\": {patches}, \
+         \"sealed_segments\": {segments}, \"build_durable_seconds\": {build_seconds:.4}, \
+         \"cold_open_seconds\": {cold_open_seconds:.4}, \
+         \"cold_open_rows_per_sec\": {:.1}, \"qps_in_memory\": {qps_in_memory:.1}, \
+         \"qps_reopened\": {qps_reopened:.1}, \"results_identical\": {identical}}}",
+        patches as f64 / cold_open_seconds,
+    )
+}
+
+fn bench_wal_replay(batches: u64, rows_per_batch: u64, dim: usize) -> String {
+    let root = scratch_root("wal");
+    {
+        let db = VectorDatabase::create_durable(&root, DurabilityConfig::new()).expect("create");
+        // Capacity above the total row count: nothing may auto-seal, so the
+        // reopen below exercises pure WAL replay.
+        let capacity = (batches * rows_per_batch + 1) as usize;
+        db.create_collection(
+            "bench",
+            CollectionConfig::new(dim).with_segment_capacity(capacity),
+        )
+        .expect("collection");
+        for b in 0..batches {
+            let rows: Vec<(Vec<f32>, PatchRecord)> = (0..rows_per_batch)
+                .map(|r| {
+                    let frame = b as u32;
+                    let patch = r as u32;
+                    let id = patch_id(1, frame, patch);
+                    let vector: Vec<f32> = (0..dim)
+                        .map(|d| (((b * 131 + r * 17 + d as u64) % 251) as f32).sin())
+                        .collect();
+                    let record = PatchRecord {
+                        patch_id: id,
+                        video_id: 1,
+                        frame_index: frame,
+                        patch_index: patch,
+                        bbox: (0.0, 0.0, 16.0, 16.0),
+                        timestamp: frame as f64 / 30.0,
+                        class_code: Some((r % 7) as u8),
+                    };
+                    (vector, record)
+                })
+                .collect();
+            db.insert_patches("bench", rows.iter().map(|(v, r)| (v.as_slice(), r.clone())))
+                .expect("insert");
+        }
+        // Never sealed: every row must come back through WAL replay.
+    }
+    let wal_bytes = std::fs::metadata(root.join("wal-000000.log"))
+        .expect("wal file")
+        .len();
+    let open_start = Instant::now();
+    let (db, report) = VectorDatabase::open_durable(&root, DurabilityConfig::new()).expect("open");
+    let open_seconds = open_start.elapsed().as_secs_f64();
+    let rows = batches * rows_per_batch;
+    assert_eq!(
+        report.wal_rows_replayed as u64, rows,
+        "replay must cover every logged row"
+    );
+    assert_eq!(db.metadata_rows() as u64, rows);
+    let _ = std::fs::remove_dir_all(&root);
+    format!(
+        "  \"wal_replay\": {{\"records\": {batches}, \"rows\": {rows}, \"dim\": {dim}, \
+         \"wal_bytes\": {wal_bytes}, \"open_seconds\": {open_seconds:.4}, \
+         \"rows_per_sec\": {:.1}, \"mb_per_sec\": {:.2}}}",
+        rows as f64 / open_seconds,
+        wal_bytes as f64 / open_seconds / (1024.0 * 1024.0),
+    )
+}
+
+fn main() {
+    let mut frames = 150usize;
+    let mut rounds = 25usize;
+    let mut wal_batches = 200u64;
+    let mut rows_per_batch = 64u64;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        let take = |name: &str| -> String {
+            value
+                .clone()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag {
+            "--frames" => {
+                frames = take("--frames").parse().expect("--frames: integer");
+                i += 2;
+            }
+            "--rounds" => {
+                rounds = take("--rounds").parse().expect("--rounds: integer");
+                i += 2;
+            }
+            "--wal-batches" => {
+                wal_batches = take("--wal-batches")
+                    .parse()
+                    .expect("--wal-batches: integer");
+                i += 2;
+            }
+            "--rows-per-batch" => {
+                rows_per_batch = take("--rows-per-batch")
+                    .parse()
+                    .expect("--rows-per-batch: integer");
+                i += 2;
+            }
+            "--out" => {
+                out = Some(take("--out"));
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let engine = bench_engine(frames, rounds);
+    let wal = bench_wal_replay(wal_batches, rows_per_batch, 64);
+    let json = format!("{{\n  \"bench\": \"recovery_pr8\",\n{engine},\n{wal}\n}}");
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).expect("write --out file");
+        eprintln!("[recovery_bench] wrote {path}");
+    }
+}

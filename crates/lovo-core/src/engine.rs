@@ -12,7 +12,7 @@ use crate::summary::{IngestStats, KeyframeMap, VideoSummarizer, PATCH_COLLECTION
 use crate::{exec, LovoError, Result};
 use lovo_encoder::{CrossModalityTransformer, TextEncoder};
 use lovo_index::SearchStats;
-use lovo_store::VectorDatabase;
+use lovo_store::{DurabilityConfig, RecoveryReport, VectorDatabase};
 use lovo_video::bbox::BoundingBox;
 use lovo_video::VideoCollection;
 use parking_lot::{Mutex, RwLock};
@@ -183,6 +183,95 @@ impl Lovo {
             keyframes: RwLock::new(keyframes),
             ingest_stats: Mutex::new(ingest_stats),
         })
+    }
+
+    /// [`Lovo::build`] over a durable store rooted at `root`: every ingested
+    /// batch is write-ahead logged (with its serialized key frames riding
+    /// along) and sealed segments land in checksummed files, so the system
+    /// survives `kill -9` and reopens with [`Lovo::open`]. Fails if `root`
+    /// already holds a store.
+    pub fn build_durable(
+        videos: &VideoCollection,
+        config: LovoConfig,
+        root: impl AsRef<std::path::Path>,
+        durability: DurabilityConfig,
+    ) -> Result<Self> {
+        config.validate().map_err(LovoError::InvalidState)?;
+        let ingested_videos = unique_video_ids(videos, &std::collections::HashSet::new())?;
+        let summarizer = VideoSummarizer::new(&config)?;
+        let database = VectorDatabase::create_durable(root, durability)?;
+        let (ingest_stats, keyframes) = summarizer.ingest(videos, &database)?;
+        Ok(Self {
+            text_encoder: TextEncoder::new(config.text)?,
+            rerank: CrossModalityTransformer::new(config.cross_modality)?,
+            planner: QueryPlanner::new(config),
+            ingested_videos: Mutex::new(ingested_videos),
+            summarizer,
+            config,
+            database,
+            keyframes: RwLock::new(keyframes),
+            ingest_stats: Mutex::new(ingest_stats),
+        })
+    }
+
+    /// Reopens a durable store created by [`Lovo::build_durable`] and
+    /// rebuilds the full engine state from disk: vectors and metadata from
+    /// the sealed segments plus the WAL, the rerank key-frame map from the
+    /// persisted frame blobs, and the ingested-video set from the metadata
+    /// table — no footage is re-read or re-encoded. Returns the storage
+    /// layer's [`RecoveryReport`] so callers can surface quarantined
+    /// segments or torn WAL tails.
+    ///
+    /// `config` must describe the same embedding dimensionality the store
+    /// was built under; anything else would make every stored vector
+    /// unsearchable, so it is rejected up front as an invalid state.
+    pub fn open(
+        config: LovoConfig,
+        root: impl AsRef<std::path::Path>,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        config.validate().map_err(LovoError::InvalidState)?;
+        let summarizer = VideoSummarizer::new(&config)?;
+        let (database, mut report) = VectorDatabase::open_durable(root, durability)?;
+        if let Some(dim) = database.collection_dim(PATCH_COLLECTION) {
+            let expected = summarizer.encoder().config().class_dim;
+            if dim != expected {
+                return Err(LovoError::InvalidState(format!(
+                    "store was built with {dim}-dimensional embeddings but the \
+                     configuration produces {expected}-dimensional ones"
+                )));
+            }
+        }
+        // Rebuild the rerank frame map from the recovered blobs. A blob that
+        // fails to decode is skipped rather than fatal — queries touching
+        // that frame lose their rerank candidate (the executor already
+        // tolerates missing key frames), which mirrors how the storage layer
+        // quarantines rather than refuses.
+        let mut keyframes = KeyframeMap::new();
+        for (frame_key, blob) in std::mem::take(&mut report.aux_blobs) {
+            let (video_id, frame_index) = ((frame_key >> 32) as u32, frame_key as u32);
+            if let Ok(frame) = lovo_video::wire::decode_frame(&blob) {
+                keyframes.insert((video_id, frame_index), frame);
+            }
+        }
+        // Video ids must stay reserved across restarts — re-ingesting an id
+        // would collide patch ids with the recovered rows.
+        let ingested_videos: std::collections::HashSet<u32> =
+            database.video_ids().into_iter().collect();
+        Ok((
+            Self {
+                text_encoder: TextEncoder::new(config.text)?,
+                rerank: CrossModalityTransformer::new(config.cross_modality)?,
+                planner: QueryPlanner::new(config),
+                ingested_videos: Mutex::new(ingested_videos),
+                summarizer,
+                config,
+                database,
+                keyframes: RwLock::new(keyframes),
+                ingest_stats: Mutex::new(IngestStats::default()),
+            },
+            report,
+        ))
     }
 
     /// Incrementally ingests a new batch of videos: encodes only the new

@@ -54,6 +54,10 @@ pub use summary::{IngestStats, VideoSummarizer};
 // `lovo-store` directly.
 pub use lovo_store::PatchPredicate;
 
+// Durable-store vocabulary used by `Lovo::build_durable` / `Lovo::open`,
+// re-exported for the same reason.
+pub use lovo_store::{DurabilityConfig, FsyncPolicy, QuarantinedSegment, RecoveryReport};
+
 /// Errors surfaced by the LOVO system.
 #[derive(Debug)]
 pub enum LovoError {

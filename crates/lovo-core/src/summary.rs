@@ -192,6 +192,7 @@ impl VideoSummarizer {
             .unwrap_or((0, 0));
 
         keyframes.reserve(selected.len());
+        let durable = database.is_durable();
         let mut frame_batch: Vec<(&[f32], PatchRecord)> = Vec::new();
         for ((video_id, frame), encoding) in selected.iter().zip(encodings.iter()) {
             keyframes.insert((*video_id, frame.index as u32), (*frame).clone());
@@ -223,8 +224,23 @@ impl VideoSummarizer {
                 };
                 frame_batch.push((patch.class_embedding.as_slice(), record));
             }
-            stats.patches_indexed +=
-                database.insert_patches(PATCH_COLLECTION, frame_batch.drain(..))?;
+            if frame_batch.is_empty() {
+                continue;
+            }
+            stats.patches_indexed += if durable {
+                // Log the serialized key frame in the same WAL record as its
+                // patch rows: after a crash, `Lovo::open` rebuilds the rerank
+                // frame map from these blobs instead of re-ingesting footage.
+                let frame_key = (u64::from(*video_id) << 32) | (frame.index as u32 as u64);
+                let blob = lovo_video::wire::encode_frame(frame);
+                database.insert_patches_with_aux(
+                    PATCH_COLLECTION,
+                    frame_batch.drain(..),
+                    vec![(frame_key, blob)],
+                )?
+            } else {
+                database.insert_patches(PATCH_COLLECTION, frame_batch.drain(..))?
+            };
         }
         if stats.patches_indexed == 0 {
             return Err(LovoError::InvalidState(

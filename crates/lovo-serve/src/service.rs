@@ -54,6 +54,12 @@ pub struct ServeStats {
     pub maintenance_seals: u64,
     /// Sealed segments merged away by maintenance compaction.
     pub maintenance_segments_merged: u64,
+    /// Maintenance ticks in which a seal or compaction failed (typically
+    /// durable-store I/O: a full disk, a yanked volume). The thread never
+    /// dies on these — it backs off exponentially (capped) and retries, so a
+    /// transient fault costs delayed maintenance, not a restart. A steadily
+    /// climbing value means the store's volume needs attention.
+    pub maintenance_io_errors: u64,
 }
 
 impl ServeStats {
@@ -82,6 +88,9 @@ impl ServeStats {
         self.maintenance_segments_merged = self
             .maintenance_segments_merged
             .saturating_add(other.maintenance_segments_merged);
+        self.maintenance_io_errors = self
+            .maintenance_io_errors
+            .saturating_add(other.maintenance_io_errors);
     }
 }
 
@@ -97,6 +106,7 @@ struct Counters {
     maintenance_ticks: AtomicU64,
     maintenance_seals: AtomicU64,
     maintenance_segments_merged: AtomicU64,
+    maintenance_io_errors: AtomicU64,
 }
 
 /// One queued submission: its compiled plan, cache identity, arrival time,
@@ -317,6 +327,7 @@ impl QueryService {
             maintenance_ticks: c.maintenance_ticks.load(Ordering::Relaxed),
             maintenance_seals: c.maintenance_seals.load(Ordering::Relaxed),
             maintenance_segments_merged: c.maintenance_segments_merged.load(Ordering::Relaxed),
+            maintenance_io_errors: c.maintenance_io_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -543,12 +554,23 @@ fn reply_all(members: Vec<Pending>, result: &QueryResult, cache_hit: bool, coale
 /// Maintenance body: on every tick, seal left-over growing rows (only past
 /// the configured floor — ingest seals its own batches) and merge undersized
 /// sealed segments, both off the query path.
+/// Longest maintenance backoff, as a multiple of the configured interval.
+const MAINTENANCE_BACKOFF_CAP: u32 = 32;
+
 fn maintenance_loop(shared: &Shared, stop: &(Mutex<bool>, Condvar), interval: Duration) {
     let (flag, signal) = stop;
     let mut stopped = flag.lock().unwrap_or_else(PoisonError::into_inner);
+    // Backoff multiplier applied to the wait interval. Doubles (capped) after
+    // a tick in which a seal or compaction failed — with a durable store
+    // those are real I/O (a full disk keeps failing for a while), so
+    // hammering the volume at the normal cadence just burns syscalls — and
+    // resets to 1 the moment a tick completes cleanly. Queries are
+    // unaffected either way: maintenance is advisory and the service keeps
+    // serving from the in-memory state.
+    let mut backoff: u32 = 1;
     loop {
         let (next, _) = signal
-            .wait_timeout(stopped, interval)
+            .wait_timeout(stopped, interval.saturating_mul(backoff))
             .unwrap_or_else(PoisonError::into_inner);
         stopped = next;
         if *stopped {
@@ -558,22 +580,38 @@ fn maintenance_loop(shared: &Shared, stop: &(Mutex<bool>, Condvar), interval: Du
             .counters
             .maintenance_ticks
             .fetch_add(1, Ordering::Relaxed);
+        let mut tick_failed = false;
         let stats = shared.engine.collection_stats();
-        if stats.growing_rows >= shared.config.maintenance_seal_min_rows
-            && shared.engine.seal().is_ok()
-        {
+        if stats.growing_rows >= shared.config.maintenance_seal_min_rows {
+            match shared.engine.seal() {
+                Ok(()) => {
+                    shared
+                        .counters
+                        .maintenance_seals
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => tick_failed = true,
+            }
+        }
+        match shared.engine.compact() {
+            Ok(result) => {
+                if result.segments_merged > 0 {
+                    shared
+                        .counters
+                        .maintenance_segments_merged
+                        .fetch_add(result.segments_merged as u64, Ordering::Relaxed);
+                }
+            }
+            Err(_) => tick_failed = true,
+        }
+        if tick_failed {
             shared
                 .counters
-                .maintenance_seals
+                .maintenance_io_errors
                 .fetch_add(1, Ordering::Relaxed);
-        }
-        if let Ok(result) = shared.engine.compact() {
-            if result.segments_merged > 0 {
-                shared
-                    .counters
-                    .maintenance_segments_merged
-                    .fetch_add(result.segments_merged as u64, Ordering::Relaxed);
-            }
+            backoff = (backoff.saturating_mul(2)).min(MAINTENANCE_BACKOFF_CAP);
+        } else {
+            backoff = 1;
         }
     }
 }
@@ -614,7 +652,7 @@ mod tests {
     #[test]
     fn serve_stats_merge_covers_every_field() {
         // Regression guard for the add-a-counter-forget-to-merge bug class:
-        // all eleven fields distinct and nonzero on both sides, so a field
+        // all twelve fields distinct and nonzero on both sides, so a field
         // the merge body skips keeps its old value and fails its assertion.
         let mut a = ServeStats {
             submitted: 1,
@@ -628,6 +666,7 @@ mod tests {
             maintenance_ticks: 9,
             maintenance_seals: 10,
             maintenance_segments_merged: 11,
+            maintenance_io_errors: 12,
         };
         a.merge(&ServeStats {
             submitted: 100,
@@ -641,6 +680,7 @@ mod tests {
             maintenance_ticks: 900,
             maintenance_seals: 1000,
             maintenance_segments_merged: 1100,
+            maintenance_io_errors: 1200,
         });
         assert_eq!(a.submitted, 101);
         assert_eq!(a.rejected, 202);
@@ -653,6 +693,7 @@ mod tests {
         assert_eq!(a.maintenance_ticks, 909);
         assert_eq!(a.maintenance_seals, 1010);
         assert_eq!(a.maintenance_segments_merged, 1111);
+        assert_eq!(a.maintenance_io_errors, 1212);
     }
 
     #[test]
@@ -873,5 +914,94 @@ mod tests {
         // Queries still answer over the compacted layout.
         let served = service.submit(QuerySpec::new("a bus on the road")).unwrap();
         assert!(!served.result.frames.is_empty());
+    }
+
+    #[test]
+    fn maintenance_survives_durable_io_faults_and_recovers() {
+        use lovo_store::durability::{points, FaultAction, FaultPlan};
+        let root =
+            std::env::temp_dir().join(format!("lovo-serve-maint-faults-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let plan = Arc::new(FaultPlan::new());
+        let videos = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_frames_per_video(90)
+                .with_seed(7),
+        );
+        let lovo = Arc::new(
+            Lovo::build_durable(
+                &videos,
+                LovoConfig::default(),
+                &root,
+                lovo_core::DurabilityConfig::new().with_faults(Arc::clone(&plan)),
+            )
+            .unwrap(),
+        );
+        // Fragment the store so maintenance compaction has durable work.
+        let mut offset = 1000u32;
+        for seed in [41u64, 43] {
+            let mut batch = VideoCollection::generate(
+                DatasetConfig::for_kind(DatasetKind::Bellevue)
+                    .with_frames_per_video(90)
+                    .with_seed(seed),
+            );
+            for video in &mut batch.videos {
+                video.id += offset;
+            }
+            offset += 1000;
+            lovo.add_videos(&batch).unwrap();
+        }
+        let service = QueryService::start(
+            Arc::clone(&lovo),
+            ServeConfig::default().with_maintenance_interval(Some(Duration::from_millis(5))),
+        )
+        .unwrap();
+        // Keep a manifest-write failure armed: every compaction attempt hits
+        // real durable I/O and fails. The thread must count the errors and
+        // stay alive (backing off), not die or panic.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while service.stats().maintenance_io_errors < 2 {
+            plan.inject(points::MANIFEST_WRITE, FaultAction::Fail);
+            assert!(
+                Instant::now() < deadline,
+                "maintenance never recorded the injected I/O failures"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The service keeps serving while maintenance is failing.
+        let served = service.submit(QuerySpec::new("a bus on the road")).unwrap();
+        assert!(!served.result.frames.is_empty());
+        // Withdraw the fault. The first failing tick already compacted in
+        // memory — only its manifest write failed — so the retry's job is to
+        // re-sync the manifest. Give it a few ticks (backoff caps at 32
+        // intervals), then prove convergence by reopening from disk.
+        while plan.take(points::MANIFEST_WRITE).is_some() {}
+        let settled = service.stats().maintenance_ticks + 3;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while service.stats().maintenance_ticks < settled {
+            assert!(Instant::now() < deadline, "maintenance ticks stalled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(service);
+        drop(lovo);
+        let (reopened, report) = Lovo::open(
+            LovoConfig::default(),
+            &root,
+            lovo_core::DurabilityConfig::new(),
+        )
+        .unwrap();
+        assert!(
+            report.is_clean(),
+            "retried manifest sync must have converged"
+        );
+        assert_eq!(
+            reopened.collection_stats().sealed_segments,
+            1,
+            "the interrupted compaction must have committed on retry"
+        );
+        let result = reopened.query("a bus on the road").unwrap();
+        assert!(!result.frames.is_empty());
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

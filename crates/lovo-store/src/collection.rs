@@ -202,6 +202,33 @@ impl SegmentedCollection {
         })
     }
 
+    /// Rebuilds a collection from recovered durable state: `sealed` must
+    /// already be sealed (index rebuilt), and `next_segment_id` is the
+    /// counter the manifest recorded. The recovered growing segment takes
+    /// the id `next_segment_id` itself — every sealed id is strictly below
+    /// the recorded counter, so this is the smallest id guaranteed fresh
+    /// (the pre-crash growing id may have been leapfrogged by compaction).
+    /// Lifetime counters (`index_builds`, `compactions`) restart at zero —
+    /// they describe this process, not the collection's whole history.
+    pub(crate) fn from_recovered(
+        name: impl Into<String>,
+        config: CollectionConfig,
+        sealed: Vec<Segment>,
+        next_segment_id: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            growing: Segment::new(next_segment_id, config.dim, config.index_kind)
+                .with_quantization(config.quantization),
+            config,
+            sealed,
+            next_segment_id: next_segment_id + 1,
+            index_builds: 0,
+            compactions: 0,
+            generation: 0,
+        }
+    }
+
     /// Collection name.
     pub fn name(&self) -> &str {
         &self.name
@@ -231,6 +258,24 @@ impl SegmentedCollection {
     /// Number of sealed segments.
     pub fn sealed_segment_count(&self) -> usize {
         self.sealed.len()
+    }
+
+    /// The sealed segments in search order. The durability layer walks these
+    /// to reconcile the on-disk segment files with the in-memory state.
+    pub fn sealed_segments(&self) -> &[Segment] {
+        &self.sealed
+    }
+
+    /// Rows currently buffered in the growing segment (covered by the WAL,
+    /// not yet by any segment file).
+    pub fn growing_len(&self) -> usize {
+        self.growing.len()
+    }
+
+    /// Next segment id this collection will allocate (persisted in the
+    /// manifest so recovery resumes the sequence without collisions).
+    pub fn next_segment_id(&self) -> u64 {
+        self.next_segment_id
     }
 
     /// Content generation of this collection: monotonically increasing,

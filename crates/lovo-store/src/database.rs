@@ -10,14 +10,18 @@
 
 use crate::collection::{
     BatchQuery, CollectionConfig, CollectionStats, CompactionResult, PushdownFilter,
-    VectorCollection,
+    SegmentedCollection, VectorCollection,
 };
+use crate::durability::wal::WalRecord;
+use crate::durability::{points, DurabilityConfig, DurableStore, RecoveryReport};
 use crate::metadata::{MetadataStore, PatchPredicate, PatchRecord};
 use crate::patchid;
+use crate::segment::Segment;
 use crate::{Result, StoreError};
 use lovo_index::{IdFilter, SearchResult, SearchStats};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::path::Path;
 
 /// A search hit joined with its metadata row.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +35,16 @@ pub struct JoinedHit {
 }
 
 /// The vector database: named collections plus the shared metadata store.
+///
+/// With a durable store attached ([`VectorDatabase::create_durable`] /
+/// [`VectorDatabase::open_durable`]) every mutation is write-ahead-logged or
+/// reflected in checksummed segment files before it is acknowledged, and
+/// reopening the same directory recovers the pre-crash state. Lock order is
+/// `durable` → `collections` → `metadata` (machine-checked from
+/// ARCHITECTURE.md): the durable lock comes first on every mutating path,
+/// which also serializes WAL append order with in-memory apply order.
 pub struct VectorDatabase {
+    durable: Option<Mutex<DurableStore>>,
     collections: RwLock<HashMap<String, VectorCollection>>,
     metadata: RwLock<MetadataStore>,
 }
@@ -43,17 +56,156 @@ impl Default for VectorDatabase {
 }
 
 impl VectorDatabase {
-    /// Creates an empty database.
+    /// Creates an empty in-memory database (no durability; contents are lost
+    /// when the process exits).
     pub fn new() -> Self {
         Self {
+            durable: None,
             collections: RwLock::new(HashMap::new()),
             metadata: RwLock::new(MetadataStore::new()),
         }
     }
 
+    /// Creates an empty database backed by a fresh durable store under
+    /// `root`. Errors if a store already exists there — use
+    /// [`VectorDatabase::open_durable`] to recover an existing one.
+    pub fn create_durable(root: impl AsRef<Path>, config: DurabilityConfig) -> Result<Self> {
+        let store = DurableStore::create(root.as_ref(), config)?;
+        Ok(Self {
+            durable: Some(Mutex::new(store)),
+            collections: RwLock::new(HashMap::new()),
+            metadata: RwLock::new(MetadataStore::new()),
+        })
+    }
+
+    /// Opens the durable store under `root` and recovers: loads every
+    /// verifiable segment file (quarantining corrupt ones), rebuilds each
+    /// segment's ANN index deterministically from its raw rows, replays the
+    /// WAL tail through the normal insert path (skipping rows already
+    /// present in sealed segments), and deletes orphaned files. The report
+    /// says exactly what was recovered and what, if anything, was lost.
+    pub fn open_durable(
+        root: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (store, state) = DurableStore::open(root.as_ref(), config)?;
+        let mut collections: HashMap<String, VectorCollection> = HashMap::new();
+        let mut metadata = MetadataStore::new();
+        let mut sealed_ids: HashMap<String, HashSet<u64>> = HashMap::new();
+        for recovered in state.collections {
+            let ids = sealed_ids.entry(recovered.name.clone()).or_default();
+            let mut sealed = Vec::with_capacity(recovered.segments.len());
+            for loaded in recovered.segments {
+                let mut segment =
+                    Segment::new(loaded.id, recovered.config.dim, recovered.config.index_kind)
+                        .with_quantization(recovered.config.quantization);
+                for (id, row) in &loaded.rows {
+                    // Rows were normalized before they were persisted; insert
+                    // them verbatim (Segment::insert never re-normalizes).
+                    segment.insert(*id, row)?;
+                    ids.insert(*id);
+                }
+                segment.seal()?;
+                for record in loaded.meta {
+                    metadata.insert(record);
+                }
+                sealed.push(segment);
+            }
+            let collection = SegmentedCollection::from_recovered(
+                recovered.name.clone(),
+                recovered.config,
+                sealed,
+                recovered.next_segment_id,
+            );
+            collections.insert(recovered.name, collection);
+        }
+
+        // Replay the WAL tail: rows whose ids already live in a sealed
+        // segment were persisted before the crash (the WAL rotates lazily),
+        // the rest re-enter through the normal insert path — pre-normalization
+        // vectors, so the stored rows come out bit-identical to the
+        // never-crashed execution.
+        let mut wal_rows_replayed = 0usize;
+        for record in &state.wal_records {
+            let Some(collection) = collections.get_mut(&record.collection) else {
+                continue;
+            };
+            let known = sealed_ids.get(&record.collection);
+            for (vector, row) in &record.patches {
+                if known.is_some_and(|ids| ids.contains(&row.patch_id)) {
+                    continue;
+                }
+                metadata.insert(row.clone());
+                collection.insert(row.patch_id, vector)?;
+                wal_rows_replayed += 1;
+            }
+        }
+        let mut report = state.report;
+        report.wal_rows_replayed = wal_rows_replayed;
+
+        let db = Self {
+            durable: Some(Mutex::new(store)),
+            collections: RwLock::new(collections),
+            metadata: RwLock::new(metadata),
+        };
+        // Replay can auto-seal (a batch that crossed segment capacity before
+        // the crash re-crosses it now); persist those segments so the store
+        // converges instead of re-replaying the same tail forever, and
+        // rotate the WAL if everything ended up sealed.
+        {
+            let mut durable = db
+                .durable
+                .as_ref()
+                .expect("just constructed durable")
+                .lock();
+            let collections = db.collections.read();
+            let metadata = db.metadata.read();
+            for collection in collections.values() {
+                durable.sync_collection(collection, &metadata, points::SEGMENT_WRITE)?;
+            }
+            let all_empty = collections.values().all(|c| c.growing_len() == 0);
+            durable.rotate_wal_if_idle(all_empty)?;
+        }
+        Ok((db, report))
+    }
+
+    /// True when a durable store backs this database.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Number of records in the active write-ahead log (0 without a durable
+    /// store). Exposed for tests, stats, and the recovery benchmark.
+    pub fn wal_records(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |durable| durable.lock().wal_records())
+    }
+
+    /// Committed byte length of the active write-ahead log (0 without a
+    /// durable store).
+    pub fn wal_bytes(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |durable| durable.lock().wal_bytes())
+    }
+
+    /// Takes the durable lock when a durable store is attached — the FIRST
+    /// lock of every mutating path (lock order: durable → collections →
+    /// metadata).
+    fn lock_durable(&self) -> Option<MutexGuard<'_, DurableStore>> {
+        self.durable.as_ref().map(Mutex::lock)
+    }
+
     /// Creates a collection with the given name and configuration. Replaces
-    /// any existing collection of the same name.
+    /// any existing collection of the same name. With a durable store the
+    /// collection is registered in the manifest first, so a crash immediately
+    /// after still knows it on reopen.
     pub fn create_collection(&self, name: &str, config: CollectionConfig) -> Result<()> {
+        let mut durable = self.lock_durable();
+        if let Some(store) = durable.as_mut() {
+            store.register_collection(name, config)?;
+        }
         let collection = VectorCollection::new(name, config)?;
         self.collections
             .write()
@@ -87,12 +239,32 @@ impl VectorDatabase {
         collection: &str,
         patches: impl IntoIterator<Item = (&'a [f32], PatchRecord)>,
     ) -> Result<usize> {
+        self.insert_patches_with_aux(collection, patches, Vec::new())
+    }
+
+    /// [`VectorDatabase::insert_patches`] with auxiliary blobs riding along
+    /// in the same WAL record (keyed by frame key). The engine logs its
+    /// serialized key frames here so they survive a crash alongside the rows
+    /// they describe; without a durable store the blobs are ignored.
+    ///
+    /// Durability contract: with a durable store attached, the batch is
+    /// appended to the WAL (and fsynced, under the default policy) *before*
+    /// anything is applied in memory. `Ok` therefore means the batch
+    /// survives `kill -9`; an `Err` from the WAL append means nothing was
+    /// applied at all — never partially.
+    pub fn insert_patches_with_aux<'a>(
+        &self,
+        collection: &str,
+        patches: impl IntoIterator<Item = (&'a [f32], PatchRecord)>,
+        aux: Vec<(u64, Vec<u8>)>,
+    ) -> Result<usize> {
+        let mut durable = self.lock_durable();
         let mut collections = self.collections.write();
         let col = collections
             .get_mut(collection)
             .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
-        // Validate the whole batch before writing anything, so a bad vector
-        // cannot leave the batch half-applied.
+        // Validate the whole batch before writing anything — neither the WAL
+        // nor memory — so a bad vector cannot leave the batch half-applied.
         let batch: Vec<(&[f32], PatchRecord)> = patches.into_iter().collect();
         for (vector, _) in &batch {
             if vector.len() != col.config().dim {
@@ -103,6 +275,20 @@ impl VectorDatabase {
                     },
                 ));
             }
+        }
+        // Write-ahead: the WAL record commits (per the fsync policy) before
+        // any in-memory state changes. A failed append leaves both the log
+        // (rolled back to the last record) and memory untouched.
+        if let Some(store) = durable.as_mut() {
+            let record = WalRecord {
+                collection: collection.to_string(),
+                patches: batch
+                    .iter()
+                    .map(|(vector, record)| (vector.to_vec(), record.clone()))
+                    .collect(),
+                aux,
+            };
+            store.append_batch(&record)?;
         }
         // Metadata first, and without the metadata lock spanning the vector
         // inserts (which can trigger a growing-segment seal, i.e. an ANN
@@ -116,20 +302,39 @@ impl VectorDatabase {
                 metadata.insert(record.clone());
             }
         }
+        let sealed_before = col.sealed_segment_count();
         for (vector, record) in &batch {
             col.insert(record.patch_id, vector)?;
+        }
+        // A batch that crossed segment capacity auto-sealed mid-insert;
+        // persist the new segment file(s) now. The rows stay covered by the
+        // WAL until the manifest swap inside `sync_collection` commits them.
+        if col.sealed_segment_count() != sealed_before {
+            if let Some(store) = durable.as_mut() {
+                store.sync_collection(col, &self.metadata.read(), points::SEGMENT_WRITE)?;
+            }
         }
         Ok(batch.len())
     }
 
     /// Seals the named collection's growing segment (builds its ANN index).
     /// Call after an ingest batch; existing sealed segments are untouched.
+    /// With a durable store, the sealed segment is written to a checksummed
+    /// file and committed via a manifest swap before this returns, and the
+    /// WAL rotates once every collection's rows live in sealed files.
     pub fn seal_collection(&self, collection: &str) -> Result<()> {
+        let mut durable = self.lock_durable();
         let mut collections = self.collections.write();
         let col = collections
             .get_mut(collection)
             .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
-        col.seal()
+        col.seal()?;
+        if let Some(store) = durable.as_mut() {
+            store.sync_collection(col, &self.metadata.read(), points::SEGMENT_WRITE)?;
+            let all_empty = collections.values().all(|c| c.growing_len() == 0);
+            store.rotate_wal_if_idle(all_empty)?;
+        }
+        Ok(())
     }
 
     /// Builds (trains) the named collection's index. With the segmented
@@ -139,13 +344,22 @@ impl VectorDatabase {
     }
 
     /// Compacts the named collection: merges undersized sealed segments to
-    /// bound the search fan-out width after many incremental appends.
+    /// bound the search fan-out width after many incremental appends. With a
+    /// durable store the merged segment files are fully written and fsynced
+    /// *before* the manifest swap drops the sources, so a crash at any
+    /// instant recovers either the old segment set or the new one — never a
+    /// mix — and the source files are deleted only after the swap.
     pub fn compact_collection(&self, collection: &str) -> Result<CompactionResult> {
+        let mut durable = self.lock_durable();
         let mut collections = self.collections.write();
         let col = collections
             .get_mut(collection)
             .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
-        col.compact()
+        let result = col.compact()?;
+        if let Some(store) = durable.as_mut() {
+            store.sync_collection(col, &self.metadata.read(), points::COMPACT_SEGMENT_WRITE)?;
+        }
+        Ok(result)
     }
 
     /// Fast search: top-`k` joined hits for the query embedding.
@@ -332,9 +546,25 @@ impl VectorDatabase {
         Ok(col.stats())
     }
 
+    /// Embedding dimensionality of a collection, or `None` if it does not
+    /// exist. Engine recovery checks this against its encoder configuration
+    /// before serving a reopened store built under a different config.
+    pub fn collection_dim(&self, collection: &str) -> Option<usize> {
+        self.collections
+            .read()
+            .get(collection)
+            .map(|c| c.config().dim)
+    }
+
     /// Total number of metadata rows.
     pub fn metadata_rows(&self) -> usize {
         self.metadata.read().len()
+    }
+
+    /// Distinct video ids present in the metadata table. Engine recovery
+    /// rebuilds its ingested-video set from this.
+    pub fn video_ids(&self) -> BTreeSet<u32> {
+        self.metadata.read().video_ids()
     }
 
     /// Approximate total storage footprint in bytes (index + metadata).

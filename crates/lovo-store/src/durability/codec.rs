@@ -1,0 +1,369 @@
+//! Little-endian byte codec for the on-disk formats.
+//!
+//! Every durable structure (WAL records, segment files, the manifest) is
+//! hand-serialized through [`ByteWriter`] / [`ByteReader`]: fixed-width
+//! little-endian integers and floats, length-prefixed strings and blobs.
+//! There is deliberately no reflection or derive layer — the wire layout IS
+//! the format specification, documented next to each `encode_*`/`decode_*`
+//! pair, and a reader that runs off the end of its buffer returns a typed
+//! [`CodecError`] instead of panicking (recovery feeds these readers
+//! arbitrarily torn and bit-flipped bytes).
+
+use crate::metadata::PatchRecord;
+
+/// Decoding failure: the buffer ended early or held an out-of-range value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset the reader was at when decoding failed.
+    pub offset: usize,
+    /// What the decoder was trying to read.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed {} at byte offset {}", self.what, self.offset)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for decoding.
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian IEEE-754 `f32` (bit-exact round trip).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian IEEE-754 `f64` (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Writes a `u32`-length-prefixed blob.
+    pub fn blob(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.bytes(b);
+    }
+
+    /// Writes a `u32`-count-prefixed slice of f32s.
+    pub fn f32_slice(&mut self, values: &[f32]) {
+        self.u32(values.len() as u32);
+        for &v in values {
+            self.f32(v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// True when the whole buffer has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> CodecResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(CodecError {
+            offset: self.pos,
+            what,
+        })?;
+        let slice = self.buf.get(self.pos..end).ok_or(CodecError {
+            offset: self.pos,
+            what,
+        })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> CodecResult<&'a [u8]> {
+        self.take(n, what)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> CodecResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> CodecResult<u32> {
+        let b = self.take(4, what)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(b);
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> CodecResult<u64> {
+        let b = self.take(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self, what: &'static str) -> CodecResult<f32> {
+        let b = self.take(4, what)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(b);
+        Ok(f32::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self, what: &'static str) -> CodecResult<f64> {
+        let b = self.take(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(f64::from_le_bytes(arr))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &'static str) -> CodecResult<String> {
+        let len = self.u32(what)? as usize;
+        let offset = self.pos;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError { offset, what })
+    }
+
+    /// Reads a `u32`-length-prefixed blob.
+    pub fn blob(&mut self, what: &'static str) -> CodecResult<Vec<u8>> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Reads a `u32`-count-prefixed slice of f32s.
+    pub fn f32_slice(&mut self, what: &'static str) -> CodecResult<Vec<f32>> {
+        let count = self.u32(what)? as usize;
+        // Cheap sanity bound before allocating: each element is 4 bytes.
+        if count.saturating_mul(4) > self.remaining() {
+            return Err(CodecError {
+                offset: self.pos,
+                what,
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.f32(what)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes one [`PatchRecord`] — the row format shared by WAL records and
+/// segment metadata sections.
+///
+/// Layout: `patch_id u64 | video u32 | frame u32 | patch u32 | bbox 4×f32 |
+/// timestamp f64 | class flag u8 (+ code u8 when 1)`.
+pub fn encode_patch_record(w: &mut ByteWriter, record: &PatchRecord) {
+    w.u64(record.patch_id);
+    w.u32(record.video_id);
+    w.u32(record.frame_index);
+    w.u32(record.patch_index);
+    w.f32(record.bbox.0);
+    w.f32(record.bbox.1);
+    w.f32(record.bbox.2);
+    w.f32(record.bbox.3);
+    w.f64(record.timestamp);
+    match record.class_code {
+        Some(code) => {
+            w.u8(1);
+            w.u8(code);
+        }
+        None => w.u8(0),
+    }
+}
+
+/// Decodes one [`PatchRecord`] written by [`encode_patch_record`].
+pub fn decode_patch_record(r: &mut ByteReader<'_>) -> CodecResult<PatchRecord> {
+    let patch_id = r.u64("patch record id")?;
+    let video_id = r.u32("patch record video")?;
+    let frame_index = r.u32("patch record frame")?;
+    let patch_index = r.u32("patch record patch index")?;
+    let bbox = (
+        r.f32("patch record bbox")?,
+        r.f32("patch record bbox")?,
+        r.f32("patch record bbox")?,
+        r.f32("patch record bbox")?,
+    );
+    let timestamp = r.f64("patch record timestamp")?;
+    let class_code = match r.u8("patch record class flag")? {
+        0 => None,
+        1 => Some(r.u8("patch record class code")?),
+        _ => {
+            return Err(CodecError {
+                offset: r.position().saturating_sub(1),
+                what: "patch record class flag",
+            })
+        }
+    };
+    Ok(PatchRecord {
+        patch_id,
+        video_id,
+        frame_index,
+        patch_index,
+        bbox,
+        timestamp,
+        class_code,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = ByteWriter::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 7);
+        w.f32(-0.0);
+        w.f64(f64::MIN_POSITIVE);
+        w.string("héllo");
+        w.blob(&[1, 2, 3]);
+        w.f32_slice(&[1.5, -2.25]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 0xAB);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 7);
+        assert_eq!(r.f32("d").unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.f64("e").unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(r.string("f").unwrap(), "héllo");
+        assert_eq!(r.blob("g").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.f32_slice("h").unwrap(), vec![1.5, -2.25]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        let err = r.u64("value").unwrap_err();
+        assert_eq!(err.what, "value");
+        // An oversized length prefix cannot allocate past the buffer.
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes).blob("blob").is_err());
+        assert!(ByteReader::new(&bytes).f32_slice("vec").is_err());
+        assert!(ByteReader::new(&bytes).string("str").is_err());
+    }
+
+    #[test]
+    fn patch_record_round_trips_both_class_variants() {
+        for class_code in [None, Some(7)] {
+            let record = PatchRecord {
+                patch_id: 0xABCD_EF01_2345,
+                video_id: 9,
+                frame_index: 1234,
+                patch_index: 47,
+                bbox: (1.5, -2.0, 320.25, 200.75),
+                timestamp: 41.125,
+                class_code,
+            };
+            let mut w = ByteWriter::new();
+            encode_patch_record(&mut w, &record);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(decode_patch_record(&mut r).unwrap(), record);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn bad_class_flag_is_a_codec_error() {
+        let record = PatchRecord {
+            patch_id: 1,
+            video_id: 0,
+            frame_index: 0,
+            patch_index: 0,
+            bbox: (0.0, 0.0, 0.0, 0.0),
+            timestamp: 0.0,
+            class_code: None,
+        };
+        let mut w = ByteWriter::new();
+        encode_patch_record(&mut w, &record);
+        let mut bytes = w.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 9; // invalid flag
+        assert!(decode_patch_record(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

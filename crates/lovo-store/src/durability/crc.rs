@@ -1,0 +1,111 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) — the checksum
+//! every on-disk structure in the durability layer carries.
+//!
+//! Hand-rolled because the workspace builds offline: the table is generated
+//! at compile time by a `const fn`, and the byte-at-a-time loop is fast
+//! enough for the sizes the store writes (headers, WAL records, segment
+//! sections), none of which sit on a query hot path.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, one step of the reflected CRC per byte value.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `bytes` (full-buffer convenience over [`Crc32::update`]).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Incremental CRC32 state, for checksumming a structure built in pieces.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state (all-ones preset, per the IEEE convention).
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut state = self.state;
+        for &byte in bytes {
+            let idx = ((state ^ u32::from(byte)) & 0xFF) as usize;
+            // lint:allow(index, idx is masked to 0..256 and TABLE has 256 entries)
+            state = (state >> 8) ^ TABLE[idx];
+        }
+        self.state = state;
+    }
+
+    /// Finalizes (final xor-out) without consuming the state.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut crc = Crc32::new();
+        for chunk in data.chunks(7) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let base = crc32(&data);
+        for byte in [0usize, 100, 255] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

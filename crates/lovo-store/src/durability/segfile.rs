@@ -1,0 +1,417 @@
+//! Versioned on-disk format for sealed segments.
+//!
+//! A sealed segment file holds everything needed to reconstruct the
+//! in-memory [`crate::segment::Segment`] exactly: the raw (normalized) rows
+//! with their ids, the zone map, the metadata rows joined by patch id, and
+//! any auxiliary blobs (serialized key frames) whose frames have rows in
+//! the segment. ANN index payloads — IVF centroids, PQ/int8 code books —
+//! are *derived* data: they are rebuilt deterministically at open (k-means
+//! is fixed-seeded), so corruption of a derived cache can never corrupt a
+//! query result. The format reserves section kinds for them
+//! ([`SECTION_PQ_CODES`], [`SECTION_INT8_CODES`]) and the reader skips
+//! section kinds it does not consume, so a later writer can persist the
+//! caches without a version bump.
+//!
+//! ## File layout
+//!
+//! ```text
+//! magic "LSEG" | version u32 | header_len u32 | header_crc u32
+//! header:   segment_id u64 | dim u32 | rows u64 | zone_min u64 | zone_max u64
+//!           | section_count u32
+//!           | per section: kind u32 | offset u64 | len u64 | crc u32
+//! sections: at their absolute offsets, each independently CRC32-checked
+//!   VECTORS (1): per row: id u64 | dim × f32
+//!   META    (2): row_count u64 | per row: PatchRecord
+//!   AUX     (3): blob_count u32 | per blob: frame_key u64 | blob
+//! ```
+//!
+//! Files are written via temp-file + fsync + atomic rename
+//! (the private `io::write_file_atomic` helper), so a torn segment write
+//! is never visible under the final name; the reader therefore treats any
+//! checksum failure as corruption of a once-complete file and the caller
+//! quarantines it.
+
+use super::codec::{decode_patch_record, encode_patch_record, ByteReader, ByteWriter};
+use super::crc::crc32;
+use super::fault::points;
+use super::io::{self, Faults};
+use super::StorageError;
+use crate::metadata::PatchRecord;
+use crate::segment::ZoneMap;
+use std::path::Path;
+
+pub(crate) const SEGMENT_MAGIC: [u8; 4] = *b"LSEG";
+pub(crate) const SEGMENT_VERSION: u32 = 1;
+
+/// Raw rows + ids.
+pub const SECTION_VECTORS: u32 = 1;
+/// Metadata rows of the segment's patch ids.
+pub const SECTION_META: u32 = 2;
+/// Auxiliary blobs (serialized key frames) keyed by frame key.
+pub const SECTION_AUX: u32 = 3;
+/// Reserved: PQ code cache (derived; rebuilt at open today).
+pub const SECTION_PQ_CODES: u32 = 4;
+/// Reserved: int8 code cache (derived; rebuilt at open today).
+pub const SECTION_INT8_CODES: u32 = 5;
+
+/// Everything a segment file persists, decoded back into memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedSegment {
+    /// Segment id (unique within its collection).
+    pub id: u64,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Zone map as stored (also re-derivable from the rows).
+    pub zone: Option<ZoneMap>,
+    /// `(id, normalized row)` in original insertion order — the order the
+    /// index rebuild consumes, which keeps rebuilt indexes bit-identical to
+    /// the pre-crash ones.
+    pub rows: Vec<(u64, Vec<f32>)>,
+    /// Metadata rows for the segment's patch ids.
+    pub meta: Vec<PatchRecord>,
+    /// Auxiliary blobs whose frames have rows in this segment.
+    pub aux: Vec<(u64, Vec<u8>)>,
+}
+
+/// The data to persist for one sealed segment.
+pub(crate) struct SegmentFileData<'a> {
+    pub id: u64,
+    pub dim: usize,
+    pub zone: Option<ZoneMap>,
+    pub rows: Vec<(u64, &'a [f32])>,
+    pub meta: Vec<&'a PatchRecord>,
+    pub aux: Vec<(u64, &'a [u8])>,
+}
+
+/// Encodes and atomically writes a segment file. `write_point` distinguishes
+/// seal-path writes ([`points::SEGMENT_WRITE`]) from compaction writes
+/// ([`points::COMPACT_SEGMENT_WRITE`]) for fault targeting.
+pub(crate) fn write_segment_file(
+    path: &Path,
+    data: &SegmentFileData<'_>,
+    write_point: &'static str,
+    faults: &Faults,
+) -> Result<(), StorageError> {
+    // Sections first, so their lengths and checksums are known.
+    let mut vectors = ByteWriter::new();
+    for (id, row) in &data.rows {
+        vectors.u64(*id);
+        for &v in *row {
+            vectors.f32(v);
+        }
+    }
+    let mut meta = ByteWriter::new();
+    meta.u64(data.meta.len() as u64);
+    for record in &data.meta {
+        encode_patch_record(&mut meta, record);
+    }
+    let mut aux = ByteWriter::new();
+    aux.u32(data.aux.len() as u32);
+    for (frame_key, blob) in &data.aux {
+        aux.u64(*frame_key);
+        aux.blob(blob);
+    }
+    let sections = [
+        (SECTION_VECTORS, vectors.into_bytes()),
+        (SECTION_META, meta.into_bytes()),
+        (SECTION_AUX, aux.into_bytes()),
+    ];
+
+    // Header with absolute section offsets.
+    let header_len = 8 + 4 + 8 + 8 + 8 + 4 + sections.len() * (4 + 8 + 8 + 4);
+    let preamble_len = 4 + 4 + 4 + 4; // magic, version, header_len, header_crc
+    let mut offset = (preamble_len + header_len) as u64;
+    let mut header = ByteWriter::new();
+    header.u64(data.id);
+    header.u32(data.dim as u32);
+    header.u64(data.rows.len() as u64);
+    let (zone_min, zone_max) = data
+        .zone
+        .map(|z| (z.min_id, z.max_id))
+        .unwrap_or((u64::MAX, 0));
+    header.u64(zone_min);
+    header.u64(zone_max);
+    header.u32(sections.len() as u32);
+    for (kind, bytes) in &sections {
+        header.u32(*kind);
+        header.u64(offset);
+        header.u64(bytes.len() as u64);
+        header.u32(crc32(bytes));
+        offset += bytes.len() as u64;
+    }
+    let header = header.into_bytes();
+    debug_assert_eq!(header.len(), header_len);
+
+    let mut file = ByteWriter::new();
+    file.bytes(&SEGMENT_MAGIC);
+    file.u32(SEGMENT_VERSION);
+    file.u32(header.len() as u32);
+    file.u32(crc32(&header));
+    file.bytes(&header);
+    for (_, bytes) in &sections {
+        file.bytes(bytes);
+    }
+    io::write_file_atomic(
+        path,
+        &file.into_bytes(),
+        write_point,
+        points::SEGMENT_SYNC,
+        points::SEGMENT_RENAME,
+        faults,
+    )
+}
+
+/// Reads and fully verifies a segment file. Any structural or checksum
+/// failure returns [`StorageError::Corrupt`] (or
+/// [`StorageError::UnsupportedVersion`]); the caller decides whether to
+/// quarantine. Unknown section kinds are skipped after their CRC check.
+pub(crate) fn read_segment_file(path: &Path) -> Result<LoadedSegment, StorageError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| io::io_err(format!("read of {}", path.display()), e))?;
+    let corrupt = |detail: String| StorageError::Corrupt {
+        file: path.display().to_string(),
+        detail,
+    };
+    let mut r = ByteReader::new(&bytes);
+    let magic = r
+        .bytes(4, "segment magic")
+        .map_err(|e| corrupt(e.to_string()))?;
+    if magic != SEGMENT_MAGIC {
+        return Err(corrupt("bad segment magic".to_string()));
+    }
+    let version = r
+        .u32("segment version")
+        .map_err(|e| corrupt(e.to_string()))?;
+    if version != SEGMENT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            file: path.display().to_string(),
+            found: version,
+            expected: SEGMENT_VERSION,
+        });
+    }
+    let header_len = r
+        .u32("segment header length")
+        .map_err(|e| corrupt(e.to_string()))? as usize;
+    let header_crc = r
+        .u32("segment header crc")
+        .map_err(|e| corrupt(e.to_string()))?;
+    let header_bytes = r
+        .bytes(header_len, "segment header")
+        .map_err(|e| corrupt(e.to_string()))?;
+    if crc32(header_bytes) != header_crc {
+        return Err(corrupt("segment header checksum mismatch".to_string()));
+    }
+
+    let mut h = ByteReader::new(header_bytes);
+    let id = h.u64("segment id").map_err(|e| corrupt(e.to_string()))?;
+    let dim = h.u32("segment dim").map_err(|e| corrupt(e.to_string()))? as usize;
+    let row_count = h.u64("segment rows").map_err(|e| corrupt(e.to_string()))? as usize;
+    let zone_min = h.u64("zone min").map_err(|e| corrupt(e.to_string()))?;
+    let zone_max = h.u64("zone max").map_err(|e| corrupt(e.to_string()))?;
+    let section_count = h.u32("section count").map_err(|e| corrupt(e.to_string()))?;
+    let zone = if row_count > 0 {
+        Some(ZoneMap {
+            min_id: zone_min,
+            max_id: zone_max,
+            rows: row_count,
+        })
+    } else {
+        None
+    };
+
+    let mut loaded = LoadedSegment {
+        id,
+        dim,
+        zone,
+        rows: Vec::new(),
+        meta: Vec::new(),
+        aux: Vec::new(),
+    };
+    for _ in 0..section_count {
+        let kind = h.u32("section kind").map_err(|e| corrupt(e.to_string()))?;
+        let offset = h
+            .u64("section offset")
+            .map_err(|e| corrupt(e.to_string()))? as usize;
+        let len = h
+            .u64("section length")
+            .map_err(|e| corrupt(e.to_string()))? as usize;
+        let crc = h.u32("section crc").map_err(|e| corrupt(e.to_string()))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| corrupt("section bounds overflow".to_string()))?;
+        let section = bytes
+            .get(offset..end)
+            .ok_or_else(|| corrupt("section out of file bounds".to_string()))?;
+        if crc32(section) != crc {
+            return Err(corrupt(format!("section {kind} checksum mismatch")));
+        }
+        match kind {
+            SECTION_VECTORS => {
+                let expected = row_count * (8 + dim * 4);
+                if section.len() != expected {
+                    return Err(corrupt("vectors section length mismatch".to_string()));
+                }
+                let mut s = ByteReader::new(section);
+                let mut rows = Vec::with_capacity(row_count);
+                for _ in 0..row_count {
+                    let row_id = s.u64("row id").map_err(|e| corrupt(e.to_string()))?;
+                    let mut row = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        row.push(s.f32("row value").map_err(|e| corrupt(e.to_string()))?);
+                    }
+                    rows.push((row_id, row));
+                }
+                loaded.rows = rows;
+            }
+            SECTION_META => {
+                let mut s = ByteReader::new(section);
+                let count = s.u64("meta count").map_err(|e| corrupt(e.to_string()))? as usize;
+                let mut meta = Vec::with_capacity(count.min(1 << 24));
+                for _ in 0..count {
+                    meta.push(decode_patch_record(&mut s).map_err(|e| corrupt(e.to_string()))?);
+                }
+                loaded.meta = meta;
+            }
+            SECTION_AUX => {
+                let mut s = ByteReader::new(section);
+                let count = s.u32("aux count").map_err(|e| corrupt(e.to_string()))? as usize;
+                let mut aux = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let key = s.u64("aux key").map_err(|e| corrupt(e.to_string()))?;
+                    let blob = s.blob("aux blob").map_err(|e| corrupt(e.to_string()))?;
+                    aux.push((key, blob));
+                }
+                loaded.aux = aux;
+            }
+            // Derived-cache or future sections: checksum verified, content
+            // ignored by this reader.
+            _ => {}
+        }
+    }
+    if loaded.rows.len() != row_count {
+        return Err(corrupt("missing vectors section".to_string()));
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lovo-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn meta(id: u64) -> PatchRecord {
+        PatchRecord {
+            patch_id: id,
+            video_id: (id >> 4) as u32,
+            frame_index: (id & 0xF) as u32,
+            patch_index: 0,
+            bbox: (1.0, 2.0, 3.0, 4.0),
+            timestamp: id as f64 * 0.125,
+            class_code: if id % 2 == 0 { Some(3) } else { None },
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("seg-000001.lseg");
+        let rows: Vec<(u64, Vec<f32>)> = (0..10u64)
+            .map(|i| (i + 100, vec![i as f32, -0.5, 0.25, 1.0]))
+            .collect();
+        let meta_rows: Vec<PatchRecord> = rows.iter().map(|(id, _)| meta(*id)).collect();
+        let blob = vec![9u8, 8, 7];
+        let data = SegmentFileData {
+            id: 1,
+            dim: 4,
+            zone: Some(ZoneMap {
+                min_id: 100,
+                max_id: 109,
+                rows: 10,
+            }),
+            rows: rows.iter().map(|(id, v)| (*id, v.as_slice())).collect(),
+            meta: meta_rows.iter().collect(),
+            aux: vec![(42, blob.as_slice())],
+        };
+        write_segment_file(&path, &data, points::SEGMENT_WRITE, &None).unwrap();
+        let loaded = read_segment_file(&path).unwrap();
+        assert_eq!(loaded.id, 1);
+        assert_eq!(loaded.dim, 4);
+        assert_eq!(loaded.rows, rows);
+        assert_eq!(loaded.meta, meta_rows);
+        assert_eq!(loaded.aux, vec![(42u64, blob)]);
+        assert_eq!(
+            loaded.zone,
+            Some(ZoneMap {
+                min_id: 100,
+                max_id: 109,
+                rows: 10
+            })
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_detected() {
+        let dir = scratch_dir("flips");
+        let path = dir.join("seg.lseg");
+        let rows: Vec<(u64, Vec<f32>)> = (0..5u64).map(|i| (i, vec![i as f32, 1.0])).collect();
+        let meta_rows: Vec<PatchRecord> = rows.iter().map(|(id, _)| meta(*id)).collect();
+        let data = SegmentFileData {
+            id: 7,
+            dim: 2,
+            zone: Some(ZoneMap {
+                min_id: 0,
+                max_id: 4,
+                rows: 5,
+            }),
+            rows: rows.iter().map(|(id, v)| (*id, v.as_slice())).collect(),
+            meta: meta_rows.iter().collect(),
+            aux: Vec::new(),
+        };
+        write_segment_file(&path, &data, points::SEGMENT_WRITE, &None).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit at a spread of positions: header, vectors, meta.
+        for pos in [5usize, 20, clean.len() / 2, clean.len() - 3] {
+            let mut corrupted = clean.clone();
+            corrupted[pos] ^= 0x10;
+            std::fs::write(&path, &corrupted).unwrap();
+            assert!(
+                read_segment_file(&path).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+        // Truncation is detected too.
+        std::fs::write(&path, &clean[..clean.len() - 10]).unwrap();
+        assert!(read_segment_file(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_version_is_refused_not_misread() {
+        let dir = scratch_dir("version");
+        let path = dir.join("seg.lseg");
+        let data = SegmentFileData {
+            id: 0,
+            dim: 1,
+            zone: None,
+            rows: vec![],
+            meta: vec![],
+            aux: vec![],
+        };
+        write_segment_file(&path, &data, points::SEGMENT_WRITE, &None).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99; // version field
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_segment_file(&path),
+            Err(StorageError::UnsupportedVersion { found: 99, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod collection;
 pub mod database;
+pub mod durability;
 pub mod metadata;
 pub mod patchid;
 pub mod segment;
@@ -39,6 +40,9 @@ pub use collection::{
     SegmentedCollection, VectorCollection, DEFAULT_SEGMENT_CAPACITY,
 };
 pub use database::{JoinedHit, VectorDatabase};
+pub use durability::{
+    DurabilityConfig, FsyncPolicy, QuarantinedSegment, RecoveryReport, StorageError,
+};
 pub use metadata::{MetadataStore, PatchPredicate, PatchRecord};
 pub use patchid::{patch_id, split_patch_id, MAX_PATCH_INDEX, MAX_VIDEO_ID};
 pub use segment::{Segment, SegmentState, ZoneMap};
@@ -54,6 +58,9 @@ pub enum StoreError {
     UnknownCollection(String),
     /// The operation conflicts with the collection's configuration.
     InvalidOperation(String),
+    /// A failure in the durable storage layer (I/O, corruption, or an
+    /// injected crash point under test).
+    Storage(durability::StorageError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -63,15 +70,29 @@ impl std::fmt::Display for StoreError {
             StoreError::MissingMetadata(id) => write!(f, "no metadata for patch id {id}"),
             StoreError::UnknownCollection(name) => write!(f, "unknown collection '{name}'"),
             StoreError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+            StoreError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<lovo_index::IndexError> for StoreError {
     fn from(e: lovo_index::IndexError) -> Self {
         StoreError::Index(e)
+    }
+}
+
+impl From<durability::StorageError> for StoreError {
+    fn from(e: durability::StorageError) -> Self {
+        StoreError::Storage(e)
     }
 }
 

@@ -172,6 +172,12 @@ impl MetadataStore {
             .collect()
     }
 
+    /// Distinct video ids referenced by the table. Recovery uses this to
+    /// rebuild the engine's ingested-video set from durable state.
+    pub fn video_ids(&self) -> BTreeSet<u32> {
+        self.rows.values().map(|record| record.video_id).collect()
+    }
+
     /// Approximate memory footprint in bytes (used by the storage ablation).
     pub fn memory_bytes(&self) -> usize {
         self.rows.len() * std::mem::size_of::<PatchRecord>()

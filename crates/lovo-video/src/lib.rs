@@ -31,6 +31,7 @@ pub mod motion;
 pub mod object;
 pub mod query;
 pub mod scene;
+pub mod wire;
 
 pub use bbox::BoundingBox;
 pub use dataset::{DatasetConfig, DatasetKind, Video, VideoCollection};

@@ -1,0 +1,297 @@
+//! Compact binary codec for [`Frame`] ground truth.
+//!
+//! The storage layer persists key frames as opaque auxiliary blobs (in the
+//! WAL and in sealed-segment AUX sections) so that a reopened engine can
+//! rebuild its in-memory scene index without re-ingesting the videos. This
+//! module defines that blob format: little-endian, length-prefixed,
+//! versioned, and fully self-contained — no serde format crate exists in
+//! this build, and the durable formats are hand-rolled anyway so the bytes
+//! are stable across compiler and library versions.
+//!
+//! Enums travel as their stable `code()` integers; decode looks the codes up
+//! in the corresponding `ALL` tables, so adding variants at the end stays
+//! wire-compatible while reordering existing ones would not be (the tables
+//! are documented as append-only).
+
+use crate::bbox::BoundingBox;
+use crate::object::{
+    Accessory, Activity, Color, Gender, Location, ObjectAttributes, ObjectClass, Relation,
+    SizeClass,
+};
+use crate::scene::{Frame, SceneObject, TrackId};
+
+/// Format version written as the first byte of every encoded frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Decode failure: the blob does not parse as a `WIRE_VERSION` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What failed to decode.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame wire decode: {}", self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(detail: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError {
+        detail: detail.into(),
+    })
+}
+
+/// Serializes a frame into the stable wire format.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + frame.objects.len() * 48);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&(frame.index as u64).to_le_bytes());
+    out.extend_from_slice(&frame.timestamp.to_le_bytes());
+    out.extend_from_slice(&frame.width.to_le_bytes());
+    out.extend_from_slice(&frame.height.to_le_bytes());
+    out.extend_from_slice(&frame.camera_motion.0.to_le_bytes());
+    out.extend_from_slice(&frame.camera_motion.1.to_le_bytes());
+    out.extend_from_slice(&(frame.objects.len() as u32).to_le_bytes());
+    for object in &frame.objects {
+        encode_object(&mut out, object);
+    }
+    out
+}
+
+fn encode_object(out: &mut Vec<u8>, object: &SceneObject) {
+    out.extend_from_slice(&object.track.0.to_le_bytes());
+    for v in [
+        object.bbox.x,
+        object.bbox.y,
+        object.bbox.w,
+        object.bbox.h,
+        object.velocity.0,
+        object.velocity.1,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let a = &object.attributes;
+    out.push(a.class.code() as u8);
+    out.push(a.color.code() as u8);
+    out.push(a.size.code() as u8);
+    out.push(a.activity.code() as u8);
+    out.push(a.location.code() as u8);
+    out.push(a.relation.kind_code() as u8);
+    // Peer class of the relation; 0xFF marks "no peer" (Relation::None).
+    out.push(a.relation.peer().map_or(0xFF, |c| c.code() as u8));
+    out.push(a.gender.code() as u8);
+    out.push(a.accessories.len() as u8);
+    for accessory in &a.accessories {
+        out.push(accessory.code() as u8);
+    }
+}
+
+/// Deserializes a frame encoded by [`encode_frame`].
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Cursor { bytes, pos: 0 };
+    let version = r.u8("version")?;
+    if version != WIRE_VERSION {
+        return err(format!(
+            "unsupported version {version} (expected {WIRE_VERSION})"
+        ));
+    }
+    let index = r.u64("index")? as usize;
+    let timestamp = r.f64("timestamp")?;
+    let width = r.u32("width")?;
+    let height = r.u32("height")?;
+    let camera_motion = (r.f32("camera dx")?, r.f32("camera dy")?);
+    let object_count = r.u32("object count")?;
+    if object_count as usize > bytes.len() {
+        return err(format!("object count {object_count} exceeds blob size"));
+    }
+    let mut objects = Vec::with_capacity(object_count as usize);
+    for _ in 0..object_count {
+        objects.push(decode_object(&mut r)?);
+    }
+    if r.pos != bytes.len() {
+        return err(format!(
+            "{} trailing bytes after frame",
+            bytes.len() - r.pos
+        ));
+    }
+    Ok(Frame {
+        index,
+        timestamp,
+        width,
+        height,
+        camera_motion,
+        objects,
+    })
+}
+
+fn decode_object(r: &mut Cursor<'_>) -> Result<SceneObject, WireError> {
+    let track = TrackId(r.u64("track id")?);
+    let bbox = BoundingBox::new(
+        r.f32("bbox x")?,
+        r.f32("bbox y")?,
+        r.f32("bbox w")?,
+        r.f32("bbox h")?,
+    );
+    let velocity = (r.f32("velocity x")?, r.f32("velocity y")?);
+    let class = lookup(&ObjectClass::ALL, r.u8("class")?, "object class")?;
+    let color = lookup(&Color::ALL, r.u8("color")?, "color")?;
+    let size = lookup(&SizeClass::ALL, r.u8("size")?, "size class")?;
+    let activity = lookup(&Activity::ALL, r.u8("activity")?, "activity")?;
+    let location = lookup(&Location::ALL, r.u8("location")?, "location")?;
+    let relation_kind = r.u8("relation kind")?;
+    let peer_code = r.u8("relation peer")?;
+    let relation = match relation_kind {
+        0 => Relation::None,
+        1 => Relation::SideBySideWith(lookup(&ObjectClass::ALL, peer_code, "relation peer")?),
+        2 => Relation::NextTo(lookup(&ObjectClass::ALL, peer_code, "relation peer")?),
+        other => return err(format!("unknown relation kind {other}")),
+    };
+    let gender = match r.u8("gender")? {
+        0 => Gender::Unspecified,
+        1 => Gender::Woman,
+        2 => Gender::Man,
+        other => return err(format!("unknown gender code {other}")),
+    };
+    let accessory_count = r.u8("accessory count")?;
+    let mut accessories = Vec::with_capacity(accessory_count as usize);
+    for _ in 0..accessory_count {
+        accessories.push(lookup(&Accessory::ALL, r.u8("accessory")?, "accessory")?);
+    }
+    Ok(SceneObject {
+        track,
+        attributes: ObjectAttributes {
+            class,
+            color,
+            size,
+            activity,
+            location,
+            relation,
+            accessories,
+            gender,
+        },
+        bbox,
+        velocity,
+    })
+}
+
+/// Decodes an enum by its `code()` via the append-only `ALL` table.
+fn lookup<T: Copy>(all: &[T], code: u8, what: &str) -> Result<T, WireError> {
+    match all.get(code as usize) {
+        Some(v) => Ok(*v),
+        None => err(format!("unknown {what} code {code}")),
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], WireError> {
+        match self.bytes.get(self.pos..self.pos + n) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => err(format!("truncated reading {what}")),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        let mut frame = Frame::empty(42, 1.4, 1920, 1080);
+        frame.camera_motion = (1.5, -0.25);
+        frame.objects.push(SceneObject {
+            track: TrackId(7),
+            attributes: ObjectAttributes::simple(ObjectClass::Car)
+                .with_color(Color::Red)
+                .with_size(SizeClass::Large)
+                .with_activity(Activity::Driving)
+                .with_location(Location::Intersection)
+                .with_relation(Relation::SideBySideWith(ObjectClass::Bus))
+                .with_accessory(Accessory::WhiteRoof)
+                .with_accessory(Accessory::CargoLoad),
+            bbox: BoundingBox::new(10.0, 20.0, 64.0, 48.0),
+            velocity: (3.0, -1.0),
+        });
+        frame.objects.push(SceneObject {
+            track: TrackId(9),
+            attributes: ObjectAttributes::simple(ObjectClass::Person)
+                .with_gender(Gender::Woman)
+                .with_relation(Relation::NextTo(ObjectClass::Car)),
+            bbox: BoundingBox::new(200.0, 300.0, 30.0, 80.0),
+            velocity: (0.0, 0.0),
+        });
+        frame
+    }
+
+    #[test]
+    fn round_trips_a_populated_frame() {
+        let frame = sample_frame();
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn round_trips_an_empty_frame() {
+        let frame = Frame::empty(0, 0.0, 640, 480);
+        assert_eq!(decode_frame(&encode_frame(&frame)).unwrap(), frame);
+    }
+
+    #[test]
+    fn rejects_bad_version_truncation_and_trailing_bytes() {
+        let mut bytes = encode_frame(&sample_frame());
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 99;
+        assert!(decode_frame(&wrong_version).is_err());
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            assert!(
+                decode_frame(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        bytes.push(0);
+        assert!(decode_frame(&bytes).is_err(), "trailing byte must fail");
+    }
+
+    #[test]
+    fn rejects_unknown_enum_codes() {
+        let frame = sample_frame();
+        let bytes = encode_frame(&frame);
+        // The class byte of the first object sits right after the fixed
+        // frame header (1+8+8+4+4+8+4) plus track id and six floats.
+        let class_offset = 37 + 8 + 24;
+        assert_eq!(bytes[class_offset], ObjectClass::Car.code() as u8);
+        let mut bad = bytes.clone();
+        bad[class_offset] = 250;
+        assert!(decode_frame(&bad).is_err());
+    }
+}
