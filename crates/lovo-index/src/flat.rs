@@ -1,6 +1,7 @@
 //! Exhaustive (brute-force) index: the accuracy upper bound in Table V.
 
 use crate::metric::Metric;
+use crate::store::RowStore;
 use crate::{IdFilter, IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
 
 /// Rows scored per batch-kernel pass: 256 rows of ≤128-dim f32 keep the
@@ -15,8 +16,9 @@ pub struct FlatIndex {
     metric: Metric,
     ids: Vec<VectorId>,
     /// All vectors concatenated row-major; `ids[i]` owns
-    /// `data[i*dim..(i+1)*dim]`.
-    data: Vec<f32>,
+    /// `data[i*dim..(i+1)*dim]`. Owned for growing buffers; a zero-copy
+    /// view into a mapped segment file on the mmap restore path.
+    data: RowStore,
 }
 
 impl FlatIndex {
@@ -32,8 +34,34 @@ impl FlatIndex {
             dim,
             metric,
             ids: Vec::new(),
-            data: Vec::new(),
+            data: RowStore::new(),
         }
+    }
+
+    /// Reconstructs a flat index from already-stored rows (the segment
+    /// restore path): `ids[i]` owns `data[i*dim..(i+1)*dim]`. Scores are
+    /// bit-identical to inserting the same rows in order, whether `data` is
+    /// owned or a mapped view. Inner-product metric, matching the sealed
+    /// segments the storage layer persists.
+    pub fn from_parts(dim: usize, ids: Vec<VectorId>, data: RowStore) -> Result<Self> {
+        if dim == 0 || data.len() != ids.len() * dim {
+            return Err(IndexError::InvalidState(format!(
+                "flat restore shape mismatch: {} values for {} rows of dim {dim}",
+                data.len(),
+                ids.len()
+            )));
+        }
+        Ok(Self {
+            dim,
+            metric: Metric::InnerProduct,
+            ids,
+            data,
+        })
+    }
+
+    /// True when the row arena is a zero-copy view into a mapped file.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Borrow the stored vector for an id, if present (linear scan; test helper).
@@ -41,17 +69,18 @@ impl FlatIndex {
         self.ids
             .iter()
             .position(|&i| i == id)
-            .map(|pos| &self.data[pos * self.dim..(pos + 1) * self.dim])
+            .map(|pos| &self.data.as_slice()[pos * self.dim..(pos + 1) * self.dim])
     }
 
     /// Iterator over the stored `(id, vector)` rows in insertion order. The
     /// segmented storage layer uses a flat index as its append buffer and
     /// reads the raw rows back when sealing or compacting a segment.
     pub fn rows(&self) -> impl Iterator<Item = (VectorId, &[f32])> {
+        let data = self.data.as_slice();
         self.ids
             .iter()
             .enumerate()
-            .map(|(pos, &id)| (id, &self.data[pos * self.dim..(pos + 1) * self.dim]))
+            .map(move |(pos, &id)| (id, &data[pos * self.dim..(pos + 1) * self.dim]))
     }
 }
 
@@ -72,7 +101,7 @@ impl VectorIndex for FlatIndex {
             });
         }
         self.ids.push(id);
-        self.data.extend_from_slice(vector);
+        self.data.to_mut().extend_from_slice(vector);
         Ok(())
     }
 
@@ -96,9 +125,10 @@ impl VectorIndex for FlatIndex {
         // bounded TopK replaces the collect-all + sort + truncate pattern.
         let mut top = TopK::new(k);
         let mut scores: Vec<f32> = Vec::with_capacity(SCAN_BLOCK_ROWS.min(self.ids.len()));
-        if !self.data.is_empty() {
+        let data = self.data.as_slice();
+        if !data.is_empty() {
             let mut base_row = 0usize;
-            for block in self.data.chunks(SCAN_BLOCK_ROWS * self.dim) {
+            for block in data.chunks(SCAN_BLOCK_ROWS * self.dim) {
                 scores.clear();
                 self.metric.score_batch(query, block, self.dim, &mut scores);
                 for (offset, &score) in scores.iter().enumerate() {
@@ -144,9 +174,10 @@ impl VectorIndex for FlatIndex {
         let mut gathered_ids: Vec<VectorId> = Vec::new();
         let mut scored = 0usize;
         let mut filtered_out = 0usize;
-        if !self.data.is_empty() {
+        let data = self.data.as_slice();
+        if !data.is_empty() {
             let mut base_row = 0usize;
-            for block in self.data.chunks(SCAN_BLOCK_ROWS * self.dim) {
+            for block in data.chunks(SCAN_BLOCK_ROWS * self.dim) {
                 let rows = block.len() / self.dim;
                 mask.clear();
                 mask.extend((0..rows).map(|offset| filter.accepts(self.ids[base_row + offset])));
@@ -202,8 +233,8 @@ impl VectorIndex for FlatIndex {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
-            + self.ids.len() * std::mem::size_of::<VectorId>()
+        // Mapped rows are file-backed page cache, not heap, so they report 0.
+        self.data.heap_bytes() + self.ids.len() * std::mem::size_of::<VectorId>()
     }
 }
 

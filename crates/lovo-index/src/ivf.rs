@@ -26,9 +26,10 @@ use crate::kmeans::{lloyd, nearest_centroid, KMeansConfig};
 use crate::metric::dot;
 use crate::pq::{PqConfig, ProductQuantizer};
 use crate::quant::Int8Arena;
+use crate::store::RowStore;
 use crate::{IdFilter, IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of the inverted multi-index.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -191,8 +192,10 @@ struct BuiltState {
     /// `arena_ids[row]` owns `arena[row * dim..(row + 1) * dim]`. Candidates
     /// carry their arena row, so the rescore loop streams contiguous memory
     /// with no per-candidate hash lookup (this replaced a
-    /// `HashMap<VectorId, Vec<f32>>`).
-    arena: Vec<f32>,
+    /// `HashMap<VectorId, Vec<f32>>`). On the mmap restore path this is a
+    /// zero-copy view into the segment file; post-restore inserts convert
+    /// it to a heap copy via [`RowStore::to_mut`].
+    arena: RowStore,
     arena_ids: Vec<VectorId>,
     /// Arena row of each id. Touched only on the **insert** path, never
     /// during search: re-inserting an id after build overwrites its arena
@@ -286,7 +289,8 @@ impl IvfPqIndex {
                 // Same id inserted again: refresh its arena row in place so
                 // earlier cell entries also rescore against the new vector.
                 let row = *entry.get();
-                built.arena[row as usize * dim..(row as usize + 1) * dim].copy_from_slice(vector);
+                built.arena.to_mut()[row as usize * dim..(row as usize + 1) * dim]
+                    .copy_from_slice(vector);
                 if let Some(int8) = built.arena_i8.as_mut() {
                     int8.overwrite(row, vector)?;
                 }
@@ -296,7 +300,7 @@ impl IvfPqIndex {
                 let row = built.arena_ids.len() as u32;
                 entry.insert(row);
                 built.arena_ids.push(id);
-                built.arena.extend_from_slice(vector);
+                built.arena.to_mut().extend_from_slice(vector);
                 if let Some(int8) = built.arena_i8.as_mut() {
                     int8.push(vector)?;
                 }
@@ -314,6 +318,155 @@ impl IvfPqIndex {
                 .append(&code.0)?;
         }
         Ok(())
+    }
+
+    /// Builds an index directly over already-stored rows (the segment
+    /// restore path): `ids[i]` owns `rows[i*dim..(i+1)*dim]`, and the store
+    /// itself — owned or a zero-copy mapped view — becomes the exact-rescore
+    /// arena without a heap copy.
+    ///
+    /// Training (sampling stride, k-means seeds, PQ codebooks) and cell
+    /// assignment replicate [`VectorIndex::build`] over the same rows in the
+    /// same order exactly, so a restored index scores bit-identically to the
+    /// one originally sealed. Duplicate ids fall back to the legacy
+    /// insert-then-build path (which heap-copies) because their overwrite
+    /// semantics cannot be expressed over a read-only arena.
+    pub fn build_from_rows(
+        config: IvfPqConfig,
+        ids: Vec<VectorId>,
+        rows: RowStore,
+    ) -> Result<Self> {
+        config.validate()?;
+        let dim = config.dim;
+        if rows.len() != ids.len() * dim {
+            return Err(IndexError::InvalidState(format!(
+                "IVF restore shape mismatch: {} values for {} rows of dim {dim}",
+                rows.len(),
+                ids.len()
+            )));
+        }
+        if ids.is_empty() {
+            return Err(IndexError::InvalidState(
+                "cannot build an IVF-PQ index with no vectors".into(),
+            ));
+        }
+        let unique: HashSet<VectorId> = ids.iter().copied().collect();
+        if unique.len() != ids.len() {
+            let mut index = Self::new(config)?;
+            let data = rows.as_slice();
+            for (i, &id) in ids.iter().enumerate() {
+                index.insert(id, &data[i * dim..(i + 1) * dim])?;
+            }
+            index.build()?;
+            return Ok(index);
+        }
+
+        // --- Training: the exact sequence of `build()` over these rows. ---
+        let data = rows.as_slice();
+        let sub_dim = config.coarse_subspace_dim();
+        let sample_len = ids.len().min(config.max_training_sample);
+        let stride = (ids.len() / sample_len).max(1);
+        let sample: Vec<&[f32]> = (0..ids.len())
+            .step_by(stride)
+            .take(sample_len)
+            .map(|i| &data[i * dim..(i + 1) * dim])
+            .collect();
+        let mut coarse_codebooks = Vec::with_capacity(config.coarse_subspaces);
+        for p in 0..config.coarse_subspaces {
+            let sub_points: Vec<Vec<f32>> = sample
+                .iter()
+                .map(|v| v[p * sub_dim..(p + 1) * sub_dim].to_vec())
+                .collect();
+            let km = lloyd(
+                &sub_points,
+                sub_dim,
+                &KMeansConfig::new(config.coarse_centroids)
+                    .with_seed(config.seed ^ (p as u64 + 1).wrapping_mul(0xABCD)),
+            )?;
+            coarse_codebooks.push(km.centroids);
+        }
+        let residual_sample: Vec<Vec<f32>> = sample
+            .iter()
+            .map(|v| {
+                let mut residual = Vec::with_capacity(dim);
+                for (p, codebook) in coarse_codebooks.iter().enumerate() {
+                    let sub = &v[p * sub_dim..(p + 1) * sub_dim];
+                    let c = &codebook[nearest_centroid(sub, codebook)];
+                    residual.extend(sub.iter().zip(c.iter()).map(|(a, b)| a - b));
+                }
+                residual
+            })
+            .collect();
+        let pq = ProductQuantizer::train(config.pq, &residual_sample)?;
+
+        // --- Cell assignment: `insert_built` for each row in order, minus
+        // the arena writes (rows already live in the adopted store; unique
+        // ids mean every insert takes the vacant path, so row numbers are
+        // simply 0..n in order). ---
+        let pq_stride = config.pq.num_subspaces;
+        let mut cells: HashMap<u64, Cell> = HashMap::new();
+        let mut arena_i8 = config.int8_rescore.then(|| Int8Arena::new(dim));
+        for (i, &id) in ids.iter().enumerate() {
+            let vector = &data[i * dim..(i + 1) * dim];
+            let codes: Vec<usize> = coarse_codebooks
+                .iter()
+                .enumerate()
+                .map(|(p, codebook)| {
+                    nearest_centroid(&vector[p * sub_dim..(p + 1) * sub_dim], codebook)
+                })
+                .collect();
+            let key = Self::pack_cell_key(&codes);
+            let mut residual = Vec::with_capacity(dim);
+            for (p, &c) in codes.iter().enumerate() {
+                let centroid = &coarse_codebooks[p][c];
+                residual.extend(
+                    vector[p * sub_dim..(p + 1) * sub_dim]
+                        .iter()
+                        .zip(centroid.iter())
+                        .map(|(v, c)| v - c),
+                );
+            }
+            let code = pq.encode(&residual)?;
+            let cell = cells.entry(key).or_default();
+            cell.ids.push(id);
+            cell.rows.push(i as u32);
+            cell.codes.extend_from_slice(&code.0);
+            if config.fastscan {
+                cell.packed
+                    .get_or_insert_with(|| FastScanCodes::new(pq_stride))
+                    .append(&code.0)?;
+            }
+            if let Some(int8) = arena_i8.as_mut() {
+                int8.push(vector)?;
+            }
+        }
+        let id_rows: HashMap<VectorId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        Ok(Self {
+            config,
+            pending: Vec::new(),
+            built: Some(BuiltState {
+                coarse_codebooks,
+                pq,
+                cells,
+                arena: rows,
+                arena_ids: ids,
+                id_rows,
+                arena_i8,
+            }),
+        })
+    }
+
+    /// True when the exact-rescore arena is a zero-copy view into a mapped
+    /// file.
+    pub fn is_mapped(&self) -> bool {
+        self.built
+            .as_ref()
+            .map(|b| b.arena.is_mapped())
+            .unwrap_or(false)
     }
 }
 
@@ -399,7 +552,7 @@ impl VectorIndex for IvfPqIndex {
             coarse_codebooks,
             pq,
             cells: HashMap::new(),
-            arena: Vec::with_capacity(self.pending.len() * self.config.dim),
+            arena: RowStore::Owned(Vec::with_capacity(self.pending.len() * self.config.dim)),
             arena_ids: Vec::with_capacity(self.pending.len()),
             id_rows: HashMap::with_capacity(self.pending.len()),
             arena_i8: self
@@ -619,9 +772,10 @@ impl IvfPqIndex {
             }
         }
         let mut top = TopK::new(k);
+        let arena = built.arena.as_slice();
         for entry in entries {
             let row = entry.payload as usize;
-            let exact = dot(query, &built.arena[row * dim..(row + 1) * dim]);
+            let exact = dot(query, &arena[row * dim..(row + 1) * dim]);
             stats.exact_rescored += 1;
             top.push_hit(entry.id, exact);
         }

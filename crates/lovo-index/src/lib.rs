@@ -40,6 +40,7 @@ pub mod kmeans;
 pub mod metric;
 pub mod pq;
 pub mod quant;
+pub mod store;
 
 pub use fastscan::{FastScanCodes, FastScanKernel, QuantizedLut, DISABLE_SIMD_ENV};
 pub use flat::FlatIndex;
@@ -48,6 +49,7 @@ pub use ivf::{IvfPqConfig, IvfPqIndex};
 pub use metric::Metric;
 pub use pq::{PqCode, PqConfig, ProductQuantizer};
 pub use quant::{Int8Arena, QuantizedFlatIndex};
+pub use store::{MappedSlice, RowStore};
 
 use serde::{Deserialize, Serialize};
 
@@ -555,6 +557,66 @@ pub fn create_segment_index_with(
             Ok(Box::new(IvfPqIndex::new(config)?))
         }
         IndexKind::Hnsw => create_index(kind, dim),
+    }
+}
+
+/// Reconstructs a sealed segment's index directly over already-stored rows
+/// (the storage layer's restore path): `ids[i]` owns `rows[i*dim..(i+1)*dim]`.
+///
+/// Family selection and sizing are identical to [`create_segment_index_with`]
+/// for `rows = ids.len()`, and each family's restore constructor replicates
+/// its insert-then-build sequence over the same rows in the same order, so
+/// the restored index answers queries bit-identically to the one originally
+/// sealed — whether `rows` is heap-owned or a zero-copy view into a mapped
+/// segment file. The flat, int8-flat, and IVF families adopt the store as
+/// their scan/rescore arena without copying; HNSW builds its graph from the
+/// rows (graph construction is inherently heap-resident).
+pub fn create_segment_index_from_rows(
+    kind: IndexKind,
+    dim: usize,
+    quantization: QuantizationOptions,
+    ids: Vec<VectorId>,
+    rows: RowStore,
+) -> Result<Box<dyn VectorIndex>> {
+    let n = ids.len();
+    let flat = |ids: Vec<VectorId>, rows: RowStore| -> Result<Box<dyn VectorIndex>> {
+        if quantization.int8_flat {
+            Ok(Box::new(QuantizedFlatIndex::from_parts(dim, ids, rows)?))
+        } else {
+            Ok(Box::new(FlatIndex::from_parts(dim, ids, rows)?))
+        }
+    };
+    match kind {
+        IndexKind::BruteForce => flat(ids, rows),
+        IndexKind::IvfPq if n < MIN_TRAINED_SEGMENT_ROWS => flat(ids, rows),
+        IndexKind::IvfPq => {
+            let base = IvfPqConfig::for_dim(dim);
+            let centroids = (n / 8).clamp(4, base.coarse_centroids);
+            let mut config = base.with_coarse_centroids(centroids);
+            if quantization.fastscan_pq {
+                config = config.with_fastscan();
+            }
+            if quantization.int8_rescore {
+                config = config.with_int8_rescore();
+            }
+            Ok(Box::new(IvfPqIndex::build_from_rows(config, ids, rows)?))
+        }
+        IndexKind::Hnsw => {
+            if rows.len() != ids.len() * dim.max(1) {
+                return Err(IndexError::InvalidState(format!(
+                    "HNSW restore shape mismatch: {} values for {} rows of dim {dim}",
+                    rows.len(),
+                    ids.len()
+                )));
+            }
+            let mut index = create_index(kind, dim)?;
+            let data = rows.as_slice();
+            for (i, &id) in ids.iter().enumerate() {
+                index.insert(id, &data[i * dim..(i + 1) * dim])?;
+            }
+            index.build()?;
+            Ok(index)
+        }
     }
 }
 

@@ -17,6 +17,7 @@
 //! truncation.
 
 use crate::metric::{dot, Metric};
+use crate::store::RowStore;
 use crate::{IdFilter, IndexError, Result, SearchResult, SearchStats, TopK, VectorId, VectorIndex};
 
 /// Default exact-rescore overfetch: the int8 scan keeps `k * overfetch`
@@ -174,8 +175,10 @@ pub struct QuantizedFlatIndex {
     ids: Vec<VectorId>,
     arena: Int8Arena,
     /// Exact rows for final re-scoring, row-major (same layout as
-    /// [`crate::FlatIndex`]'s arena).
-    exact: Vec<f32>,
+    /// [`crate::FlatIndex`]'s arena). A zero-copy view into the segment
+    /// file on the mmap restore path; the int8 scan codes above are always
+    /// heap-derived from it.
+    exact: RowStore,
 }
 
 impl QuantizedFlatIndex {
@@ -192,8 +195,40 @@ impl QuantizedFlatIndex {
             overfetch: overfetch.max(1),
             ids: Vec::new(),
             arena: Int8Arena::new(dim),
-            exact: Vec::new(),
+            exact: RowStore::new(),
         }
+    }
+
+    /// Reconstructs a quantized flat index from already-stored rows (the
+    /// segment restore path). Each row of `exact` is quantized into the
+    /// int8 arena in order — the exact sequence [`VectorIndex::insert`]
+    /// performs — so scan order, codes, and scores are bit-identical to the
+    /// index originally sealed from these rows.
+    pub fn from_parts(dim: usize, ids: Vec<VectorId>, exact: RowStore) -> Result<Self> {
+        if dim == 0 || exact.len() != ids.len() * dim {
+            return Err(IndexError::InvalidState(format!(
+                "quantized flat restore shape mismatch: {} values for {} rows of dim {dim}",
+                exact.len(),
+                ids.len()
+            )));
+        }
+        let mut arena = Int8Arena::new(dim);
+        for row in exact.as_slice().chunks_exact(dim) {
+            arena.push(row)?;
+        }
+        Ok(Self {
+            dim,
+            overfetch: DEFAULT_OVERFETCH,
+            ids,
+            arena,
+            exact,
+        })
+    }
+
+    /// True when the exact-rescore rows are a zero-copy view into a mapped
+    /// file.
+    pub fn is_mapped(&self) -> bool {
+        self.exact.is_mapped()
     }
 
     fn search_impl(
@@ -227,9 +262,10 @@ impl QuantizedFlatIndex {
         }
         stats.heap_pushes += approx.pushes();
         let mut top = TopK::new(k);
+        let exact_rows = self.exact.as_slice();
         for entry in approx.into_sorted_entries() {
             let row = entry.payload as usize;
-            let exact = dot(query, &self.exact[row * self.dim..(row + 1) * self.dim]);
+            let exact = dot(query, &exact_rows[row * self.dim..(row + 1) * self.dim]);
             stats.exact_rescored += 1;
             top.push_hit(entry.id, exact);
         }
@@ -256,7 +292,7 @@ impl VectorIndex for QuantizedFlatIndex {
         }
         self.arena.push(vector)?;
         self.ids.push(id);
-        self.exact.extend_from_slice(vector);
+        self.exact.to_mut().extend_from_slice(vector);
         Ok(())
     }
 
@@ -287,9 +323,10 @@ impl VectorIndex for QuantizedFlatIndex {
 
     fn memory_bytes(&self) -> usize {
         // The f32 copy is rescore storage, not scan storage; it is counted so
-        // capacity planning sees the true footprint.
+        // capacity planning sees the true footprint (0 when mapped — the
+        // rescore rows are then file-backed page cache, not heap).
         self.arena.memory_bytes()
-            + self.exact.len() * std::mem::size_of::<f32>()
+            + self.exact.heap_bytes()
             + self.ids.len() * std::mem::size_of::<VectorId>()
     }
 }

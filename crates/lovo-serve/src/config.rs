@@ -45,6 +45,13 @@ pub struct ServeConfig {
     /// parallelism already saturates the machine). A non-zero value forces
     /// that many fan-out workers for every executed batch.
     pub intra_query_threads: usize,
+    /// Pre-fault mapped sealed segments when the service starts. Only
+    /// meaningful when the engine was opened with the mmap read path and
+    /// without `MAP_POPULATE`: the service issues one `MADV_WILLNEED` pass
+    /// over every live mapping before accepting queries, trading a longer
+    /// start for no demand-paging stalls on the first requests. A no-op on
+    /// the heap read path.
+    pub warmup_on_start: bool,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +66,7 @@ impl Default for ServeConfig {
             maintenance_interval: Some(Duration::from_millis(500)),
             maintenance_seal_min_rows: 256,
             intra_query_threads: 0,
+            warmup_on_start: false,
         }
     }
 }
@@ -106,6 +114,13 @@ impl ServeConfig {
     /// pool capacity).
     pub fn with_intra_query_threads(mut self, threads: usize) -> Self {
         self.intra_query_threads = threads;
+        self
+    }
+
+    /// Builder-style start-time warm-up toggle (pre-fault mapped segments
+    /// before the first query; a no-op on the heap read path).
+    pub fn with_warmup_on_start(mut self, warmup: bool) -> Self {
+        self.warmup_on_start = warmup;
         self
     }
 
@@ -160,7 +175,8 @@ mod tests {
             .with_max_batch(16)
             .with_cache_capacity(64)
             .with_maintenance_interval(None)
-            .with_intra_query_threads(3);
+            .with_intra_query_threads(3)
+            .with_warmup_on_start(true);
         assert_eq!(config.workers, 4);
         assert_eq!(config.queue_depth, 8);
         assert_eq!(config.batch_window, Duration::from_millis(2));
@@ -168,5 +184,6 @@ mod tests {
         assert_eq!(config.cache_capacity, 64);
         assert_eq!(config.maintenance_interval, None);
         assert_eq!(config.intra_query_threads, 3);
+        assert!(config.warmup_on_start);
     }
 }

@@ -166,6 +166,11 @@ impl QueryService {
     /// configuration.
     pub fn start(engine: Arc<Lovo>, config: ServeConfig) -> Result<Self> {
         config.validate().map_err(ServeError::Engine)?;
+        if config.warmup_on_start {
+            // Pre-fault mapped sealed segments before the first query can
+            // hit a demand-paging stall; advisory, so nothing to surface.
+            let _ = engine.warmup();
+        }
         let shared = Arc::new(Shared {
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             engine: Arc::clone(&engine),
@@ -334,6 +339,22 @@ impl QueryService {
     /// Number of entries currently in the result cache.
     pub fn cached_results(&self) -> usize {
         self.shared.cache.len()
+    }
+
+    /// Total bytes of mapped sealed segments behind this service (0 on the
+    /// heap read path). Point-in-time storage gauges rather than
+    /// [`ServeStats`] counters: they describe the engine's current mappings,
+    /// not accumulated service activity.
+    pub fn mapped_bytes(&self) -> usize {
+        self.shared.engine.mapped_bytes()
+    }
+
+    /// Bytes of mapped sealed segments currently resident in page cache —
+    /// how warm the mapped corpus is right now. Falls under memory pressure
+    /// as the kernel evicts cold segment pages (the degradation mode that
+    /// keeps larger-than-RAM corpora serving).
+    pub fn resident_bytes(&self) -> usize {
+        self.shared.engine.resident_bytes()
     }
 }
 

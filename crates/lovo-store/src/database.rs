@@ -13,7 +13,7 @@ use crate::collection::{
     SegmentedCollection, VectorCollection,
 };
 use crate::durability::wal::WalRecord;
-use crate::durability::{points, DurabilityConfig, DurableStore, RecoveryReport};
+use crate::durability::{points, DurabilityConfig, DurableStore, OpenOptions, RecoveryReport};
 use crate::metadata::{MetadataStore, PatchPredicate, PatchRecord};
 use crate::patchid;
 use crate::segment::Segment;
@@ -88,7 +88,33 @@ impl VectorDatabase {
         root: impl AsRef<Path>,
         config: DurabilityConfig,
     ) -> Result<(Self, RecoveryReport)> {
-        let (store, state) = DurableStore::open(root.as_ref(), config)?;
+        // `DurableStore::open` resolves OpenOptions::from_env(), so setting
+        // LOVO_MMAP=1 switches every default open — including existing test
+        // suites — onto the mapped read path.
+        let recovered = DurableStore::open(root.as_ref(), config)?;
+        Self::from_recovered(recovered)
+    }
+
+    /// [`VectorDatabase::open_durable`] with explicit read-path options:
+    /// `options.mmap` serves sealed-segment rows zero-copy out of the
+    /// mapped `.lseg` files instead of copying them onto the heap (see
+    /// [`OpenOptions`]).
+    pub fn open_durable_with(
+        root: impl AsRef<Path>,
+        config: DurabilityConfig,
+        options: OpenOptions,
+    ) -> Result<(Self, RecoveryReport)> {
+        let recovered = DurableStore::open_with(root.as_ref(), config, options)?;
+        Self::from_recovered(recovered)
+    }
+
+    /// Rebuilds the in-memory database from a recovered durable store:
+    /// restores every sealed segment (and its deterministically rebuilt ANN
+    /// index), replays the WAL tail through the normal insert path, and
+    /// persists anything replay re-sealed.
+    fn from_recovered(
+        (store, state): (DurableStore, crate::durability::RecoveredState),
+    ) -> Result<(Self, RecoveryReport)> {
         let mut collections: HashMap<String, VectorCollection> = HashMap::new();
         let mut metadata = MetadataStore::new();
         let mut sealed_ids: HashMap<String, HashSet<u64>> = HashMap::new();
@@ -96,19 +122,24 @@ impl VectorDatabase {
             let ids = sealed_ids.entry(recovered.name.clone()).or_default();
             let mut sealed = Vec::with_capacity(recovered.segments.len());
             for loaded in recovered.segments {
-                let mut segment =
-                    Segment::new(loaded.id, recovered.config.dim, recovered.config.index_kind)
-                        .with_quantization(recovered.config.quantization);
-                for (id, row) in &loaded.rows {
-                    // Rows were normalized before they were persisted; insert
-                    // them verbatim (Segment::insert never re-normalizes).
-                    segment.insert(*id, row)?;
-                    ids.insert(*id);
-                }
-                segment.seal()?;
+                ids.extend(loaded.ids.iter().copied());
                 for record in loaded.meta {
                     metadata.insert(record);
                 }
+                // Rows were normalized before they were persisted; restore
+                // them verbatim. The restore path replays the exact
+                // insert-then-build sequence of the original seal, so the
+                // rebuilt index is bit-identical — whether the rows live on
+                // the heap or stay in the segment file's mapping.
+                let segment = Segment::restore_sealed(
+                    loaded.id,
+                    recovered.config.dim,
+                    recovered.config.index_kind,
+                    recovered.config.quantization,
+                    loaded.zone,
+                    loaded.ids,
+                    loaded.rows,
+                )?;
                 sealed.push(segment);
             }
             let collection = SegmentedCollection::from_recovered(
@@ -188,6 +219,45 @@ impl VectorDatabase {
         self.durable
             .as_ref()
             .map_or(0, |durable| durable.lock().wal_bytes())
+    }
+
+    /// Pre-faults every live mapped segment (`MADV_WILLNEED`), returning
+    /// the number of bytes advised. A no-op (0) on the heap read path or
+    /// without a durable store; call after an mmap open that skipped
+    /// `populate` to trade one up-front sequential read for demand-paging
+    /// stalls on the first queries.
+    pub fn warmup(&self) -> usize {
+        self.durable
+            .as_ref()
+            .map_or(0, |durable| durable.lock().warmup())
+    }
+
+    /// Drops every live mapped segment's resident pages (`MADV_DONTNEED`),
+    /// returning the number of bytes advised. The inverse of
+    /// [`VectorDatabase::warmup`] and the churn knob for corpora larger
+    /// than RAM: a read-only mapping loses only clean page-cache copies,
+    /// and later scans demand-page them back in.
+    pub fn release_pages(&self) -> usize {
+        self.durable
+            .as_ref()
+            .map_or(0, |durable| durable.lock().release_pages())
+    }
+
+    /// Total bytes of live segment mappings (0 on the heap read path).
+    pub fn mapped_bytes(&self) -> usize {
+        self.durable
+            .as_ref()
+            .map_or(0, |durable| durable.lock().mapped_bytes())
+    }
+
+    /// Bytes of live segment mappings currently resident in page cache.
+    /// The mmap-mode complement of [`VectorDatabase::total_bytes`]: it
+    /// shrinks when the kernel evicts cold segment pages, which is exactly
+    /// the degradation mode that lets corpora larger than RAM keep serving.
+    pub fn resident_bytes(&self) -> usize {
+        self.durable
+            .as_ref()
+            .map_or(0, |durable| durable.lock().resident_bytes())
     }
 
     /// Takes the durable lock when a durable store is attached — the FIRST

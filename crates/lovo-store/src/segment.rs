@@ -15,8 +15,8 @@
 
 use crate::{Result, StoreError};
 use lovo_index::{
-    create_segment_index_with, FlatIndex, IdFilter, IndexKind, QuantizationOptions, SearchResult,
-    SearchStats, VectorId, VectorIndex,
+    create_segment_index_from_rows, create_segment_index_with, FlatIndex, IdFilter, IndexKind,
+    QuantizationOptions, RowStore, SearchResult, SearchStats, VectorId, VectorIndex,
 };
 
 /// Zone map of a segment: the inclusive range of packed patch ids it holds
@@ -88,6 +88,43 @@ impl Segment {
     pub fn with_quantization(mut self, quantization: QuantizationOptions) -> Self {
         self.quantization = quantization;
         self
+    }
+
+    /// Reconstructs a sealed segment directly from recovered parts — the
+    /// row store may be a zero-copy view into a mapped segment file, in
+    /// which case the retained raw rows (the `buffer`) and the rebuilt
+    /// index's rescore arena *share* that mapping (cloning a mapped store
+    /// clones an `Arc`, not the payload).
+    ///
+    /// Equivalent to inserting every `(id, row)` pair in order and sealing:
+    /// the index constructors replay the exact insert-then-build sequence,
+    /// so the restored segment answers queries bit-identically to one
+    /// rebuilt through the insert path.
+    pub fn restore_sealed(
+        id: u64,
+        dim: usize,
+        target_kind: IndexKind,
+        quantization: QuantizationOptions,
+        zone: Option<ZoneMap>,
+        ids: Vec<VectorId>,
+        rows: RowStore,
+    ) -> Result<Self> {
+        let buffer = FlatIndex::from_parts(dim, ids.clone(), rows.clone())?;
+        let index = create_segment_index_from_rows(target_kind, dim, quantization, ids, rows)?;
+        Ok(Self {
+            id,
+            dim,
+            target_kind,
+            quantization,
+            buffer,
+            index: Some(index),
+            zone,
+        })
+    }
+
+    /// True when the retained raw rows are served from a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.buffer.is_mapped()
     }
 
     /// Segment identifier (unique within its collection).
