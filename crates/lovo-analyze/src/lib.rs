@@ -105,10 +105,10 @@ pub struct Config {
 }
 
 /// The default configuration for this repository: panic-denied modules are
-/// the serve tier, the executor, and the index scan kernels; the stats
-/// triple is `SearchStats`/`ServeStats`/`IngestStats`; the lock hierarchy is
-/// whatever `hierarchy` pairs the caller parsed from ARCHITECTURE.md (see
-/// [`parse_hierarchy_doc`]).
+/// the serve tier, the executor, and the index scan kernels; the covered
+/// stats structs are `SearchStats`/`ServeStats`/`IngestStats`/`ShardStats`;
+/// the lock hierarchy is whatever `hierarchy` pairs the caller parsed from
+/// ARCHITECTURE.md (see [`parse_hierarchy_doc`]).
 pub fn default_config(hierarchy: &[(String, String)]) -> Config {
     Config {
         panics: PanicConfig {
@@ -137,6 +137,9 @@ pub fn default_config(hierarchy: &[(String, String)]) -> Config {
             index_paths: vec![
                 "lovo-serve/src/service.rs".to_string(),
                 "lovo-serve/src/cache.rs".to_string(),
+                // The shard router and its gather loop: a slice index that
+                // panics here takes down a scatter worker mid-gather.
+                "lovo-serve/src/shard".to_string(),
                 "lovo-core/src/exec.rs".to_string(),
             ],
         },
@@ -155,6 +158,10 @@ pub fn default_config(hierarchy: &[(String, String)]) -> Config {
             StatsPair {
                 struct_name: "IngestStats".to_string(),
                 merge_fn: "accumulate".to_string(),
+            },
+            StatsPair {
+                struct_name: "ShardStats".to_string(),
+                merge_fn: "merge".to_string(),
             },
         ],
     }

@@ -152,7 +152,9 @@ fn bench_cold_open(root: &PathBuf, probes: &[Vec<f32>]) -> String {
     drop(eager);
     let (deferred, deferred_seconds) = timed_open(
         root,
-        OpenOptions::default().with_mmap(true).with_verify_payload(false),
+        OpenOptions::default()
+            .with_mmap(true)
+            .with_verify_payload(false),
     );
     let deferred_results: Vec<_> = probes.iter().map(|q| observe(&deferred, q)).collect();
     drop(deferred);
@@ -201,7 +203,9 @@ fn bench_larger_than_ram(root: &PathBuf, queries: &[Vec<f32>], rounds: usize) ->
     // small the budget.
     let (db, _) = timed_open(
         root,
-        OpenOptions::default().with_mmap(true).with_verify_payload(false),
+        OpenOptions::default()
+            .with_mmap(true)
+            .with_verify_payload(false),
     );
     let mapped_bytes = db.mapped_bytes();
     // The emulated memory limit: a quarter of the corpus. On a real
@@ -287,8 +291,14 @@ fn main() {
 
     eprintln!("[mmap_bench] building flat corpus: {rows} rows, dim {dim}");
     let flat_root = scratch_root("flat");
-    let flat_build =
-        build_store(&flat_root, rows, dim, IndexKind::BruteForce, QuantizationOptions::none(), capacity);
+    let flat_build = build_store(
+        &flat_root,
+        rows,
+        dim,
+        IndexKind::BruteForce,
+        QuantizationOptions::none(),
+        capacity,
+    );
 
     eprintln!("[mmap_bench] cold opens");
     let cold = bench_cold_open(&flat_root, &probe_set[..probe_set.len().min(4)]);

@@ -1,0 +1,279 @@
+//! Machine-readable sharded-serving benchmark: emits `BENCH_pr10.json`-style
+//! numbers comparing a 4-shard `ShardRouter` against one engine holding the
+//! whole corpus, on (a) video predicates that map onto a single shard (the
+//! router prunes the other three), (b) unfiltered full-fan-out queries, and
+//! (c) a degraded gather with one shard permanently down.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p lovo-bench --bin shard_bench -- \
+//!     [--videos 8] [--frames 240] [--iters 25] [--shards 4] \
+//!     [--clients 16] [--out PATH]
+//! ```
+//!
+//! JSON goes to stdout; `--out` additionally writes it to a file. CI runs
+//! this with a small `--frames`/`--iters` as a smoke test; the full-size run
+//! is committed as `BENCH_pr10.json`.
+
+use lovo_core::{Lovo, LovoConfig, QuerySpec};
+use lovo_serve::{
+    partition_videos, CoarseRequest, CoarseResponse, EngineShard, HashPlacement, LocalShard,
+    Placement, RerankRequest, RerankResponse, ShardConfig, ShardRouter,
+};
+use lovo_video::{DatasetConfig, DatasetKind, QueryPredicate, VideoCollection};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct LatencyStats {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Runs `clients` threads, each issuing `iters` queries round-robin over the
+/// spec set through `run_query`, and summarizes throughput (whole-run
+/// wall-clock) and the merged per-query latency distribution.
+fn measure<F>(clients: usize, iters: usize, specs: &[QuerySpec], run_query: F) -> LatencyStats
+where
+    F: Fn(&QuerySpec) + Sync,
+{
+    let samples: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(clients * iters));
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let samples = &samples;
+            let run_query = &run_query;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(iters);
+                for i in 0..iters {
+                    let spec = &specs[(client + i) % specs.len()];
+                    let start = Instant::now();
+                    run_query(spec);
+                    local.push(start.elapsed().as_secs_f64() * 1e3);
+                }
+                samples.lock().expect("samples lock").extend(local);
+            });
+        }
+    });
+    let wall = wall_start.elapsed().as_secs_f64();
+    let mut samples = samples.into_inner().expect("samples lock");
+    samples.sort_by(|a, b| a.total_cmp(b));
+    LatencyStats {
+        qps: samples.len() as f64 / wall,
+        p50_ms: percentile(&samples, 0.50),
+        p99_ms: percentile(&samples, 0.99),
+    }
+}
+
+fn json_latency(name: &str, s: &LatencyStats) -> String {
+    format!(
+        "\"{name}\": {{\"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        s.qps, s.p50_ms, s.p99_ms
+    )
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A shard that is permanently down: every request fails immediately, the
+/// way a crashed remote shard's transport would. Claims the whole id space
+/// so pruning never routes around it.
+struct DownShard;
+
+impl EngineShard for DownShard {
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    fn video_range(&self) -> Option<(u32, u32)> {
+        Some((0, u32::MAX))
+    }
+
+    fn coarse(&self, _request: &CoarseRequest) -> Result<CoarseResponse, String> {
+        Err("synthetic outage".to_string())
+    }
+
+    fn rerank(&self, _request: &RerankRequest) -> Result<RerankResponse, String> {
+        Err("synthetic outage".to_string())
+    }
+}
+
+fn build_router(
+    shards: Vec<Arc<dyn EngineShard>>,
+    shard_count: usize,
+    cache_capacity: usize,
+) -> ShardRouter {
+    ShardRouter::new(
+        shards,
+        Arc::new(HashPlacement::new(shard_count)),
+        LovoConfig::default(),
+        ShardConfig::default()
+            .with_cache_capacity(cache_capacity)
+            .with_result_cache_capacity(cache_capacity),
+    )
+    .expect("build router")
+}
+
+fn main() {
+    let videos_n: usize = arg_value("--videos")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let frames: usize = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(240);
+    let iters: usize = arg_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let shard_count: usize = arg_value("--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let clients: usize = arg_value("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let out = arg_value("--out");
+
+    eprintln!("building engines ({videos_n} videos x {frames} frames, {shard_count} shards)...");
+    let videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_num_videos(videos_n)
+            .with_frames_per_video(frames)
+            .with_seed(11),
+    );
+    let single = Arc::new(Lovo::build(&videos, LovoConfig::default()).expect("build single"));
+    let placement = HashPlacement::new(shard_count);
+    let engines: Vec<Arc<Lovo>> = partition_videos(&videos, &placement)
+        .iter()
+        .map(|part| Arc::new(Lovo::build(part, LovoConfig::default()).expect("build shard")))
+        .collect();
+    let locals: Vec<Arc<dyn EngineShard>> = engines
+        .iter()
+        .map(|engine| Arc::new(LocalShard::new(Arc::clone(engine))) as Arc<dyn EngineShard>)
+        .collect();
+
+    // 1-of-N-shard predicates: each spec restricts to the videos of exactly
+    // one shard, so the router prunes the other N-1 — the serving-layer
+    // analogue of the segment zone maps.
+    let texts = [
+        "a red car driving in the center of the road",
+        "a bus driving on the road",
+        "a person walking on the sidewalk",
+        "a car on the road",
+        "a truck on the road",
+        "a red car side by side with another car",
+        "a bus at a bus stop",
+        "a person crossing the street",
+    ];
+    let shard_videos: Vec<Vec<u32>> = (0..shard_count)
+        .map(|s| {
+            videos
+                .videos
+                .iter()
+                .map(|v| v.id)
+                .filter(|&id| placement.shard_of(id) == s)
+                .collect()
+        })
+        .collect();
+    let filtered_specs: Vec<QuerySpec> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let owned = &shard_videos[i % shard_count];
+            QuerySpec::new(*text).with_predicate(QueryPredicate::videos(owned.iter().copied()))
+        })
+        .collect();
+    let unfiltered_specs: Vec<QuerySpec> = texts.iter().map(|text| QuerySpec::new(*text)).collect();
+
+    let mut rows: Vec<String> = Vec::new();
+
+    // --- 1-of-N-shard predicates: unsharded vs sharded (cold and steady). ---
+    eprintln!("filtered workload ({clients} clients)...");
+    let unsharded_filtered = measure(clients, iters, &filtered_specs, |spec| {
+        let result = single.query_spec(spec).expect("direct query");
+        std::hint::black_box(result.frames.len());
+    });
+    rows.push(json_latency("unsharded_filtered", &unsharded_filtered));
+
+    let cold = build_router(locals.clone(), shard_count, 0);
+    let sharded_filtered_cold = measure(clients, iters, &filtered_specs, |spec| {
+        let sharded = cold.query_spec(spec).expect("routed query");
+        assert!(sharded.outages.is_empty());
+        std::hint::black_box(sharded.result.frames.len());
+    });
+    rows.push(json_latency(
+        "sharded_filtered_cold",
+        &sharded_filtered_cold,
+    ));
+
+    // Steady state: the same repeat-heavy traffic the serving tier sees.
+    // Epoch-keyed caches (per-shard coarse + merged result) absorb repeats
+    // while the collection is quiescent; any ingest invalidates exactly the
+    // affected shard's entries.
+    let steady = build_router(locals.clone(), shard_count, 256);
+    for spec in &filtered_specs {
+        steady.query_spec(spec).expect("warm caches");
+    }
+    let sharded_filtered = measure(clients, iters, &filtered_specs, |spec| {
+        let sharded = steady.query_spec(spec).expect("routed query");
+        assert!(sharded.outages.is_empty());
+        std::hint::black_box(sharded.result.frames.len());
+    });
+    rows.push(json_latency("sharded_filtered_warm", &sharded_filtered));
+
+    // --- Unfiltered full-fan-out comparison. ---
+    eprintln!("unfiltered workload ({clients} clients)...");
+    let unsharded_unfiltered = measure(clients, iters, &unfiltered_specs, |spec| {
+        let result = single.query_spec(spec).expect("direct query");
+        std::hint::black_box(result.frames.len());
+    });
+    rows.push(json_latency("unsharded_unfiltered", &unsharded_unfiltered));
+    let unfiltered_router = build_router(locals.clone(), shard_count, 0);
+    let sharded_unfiltered = measure(clients, iters, &unfiltered_specs, |spec| {
+        let sharded = unfiltered_router.query_spec(spec).expect("routed query");
+        std::hint::black_box(sharded.result.frames.len());
+    });
+    rows.push(json_latency("sharded_unfiltered", &sharded_unfiltered));
+
+    // --- Degraded gather: one shard permanently down, every query partial. ---
+    eprintln!("degraded workload ({clients} clients, one shard down)...");
+    let mut degraded_shards = locals.clone();
+    degraded_shards[shard_count - 1] = Arc::new(DownShard);
+    let degraded_router = build_router(degraded_shards, shard_count, 0);
+    let degraded = measure(clients, iters, &unfiltered_specs, |spec| {
+        let sharded = degraded_router.query_spec(spec).expect("degraded query");
+        assert!(sharded.is_degraded());
+        std::hint::black_box(sharded.result.frames.len());
+    });
+    rows.push(json_latency("sharded_degraded_one_down", &degraded));
+    let degraded_stats = degraded_router.stats();
+
+    let speedup_filtered = sharded_filtered.qps / unsharded_filtered.qps.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"videos\": {videos_n},\n  \
+         \"frames_per_video\": {frames},\n  \"shards\": {shard_count},\n  \
+         \"clients\": {clients},\n  \"iters_per_client\": {iters},\n  \
+         \"distinct_plans\": {},\n  \"filtered_speedup_vs_unsharded\": {:.2},\n  \
+         \"degraded_outages_recorded\": {},\n  {}\n}}",
+        texts.len(),
+        speedup_filtered,
+        degraded_stats.outages,
+        rows.join(",\n  ")
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+}

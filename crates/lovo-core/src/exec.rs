@@ -28,7 +28,277 @@ use lovo_encoder::{QueryEmbedding, RerankedFrame};
 use lovo_index::SearchStats;
 use lovo_store::{BatchQuery, JoinedHit, PushdownFilter};
 use lovo_video::bbox::BoundingBox;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// One coarse-stage candidate patch in shard-portable form: the packed patch
+/// id, its fast-search score, the patch's bounding box, and the owning key
+/// frame's timestamp when the producing engine has published that key frame.
+///
+/// The shard router's coarse responses carry these across the router↔shard
+/// boundary; the single-engine executor builds the same values internally,
+/// so both paths aggregate through one implementation — which is what makes
+/// sharded answers bit-identical to single-engine ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoarseHit {
+    /// Packed patch id (video / frame / patch, see `lovo_store::patch_id`).
+    pub patch_id: u64,
+    /// Fast-search similarity score of this patch.
+    pub score: f32,
+    /// The patch's bounding box.
+    pub bbox: BoundingBox,
+    /// Timestamp of the owning key frame in seconds, or `None` when the
+    /// producing engine has not (yet) published the key frame — consumers
+    /// skip such frames exactly as the single-engine ablation path does.
+    pub timestamp: Option<f64>,
+}
+
+/// One candidate key frame after coarse hits are grouped: the frame key, its
+/// best fast-search score and box (the rerank seed), and the frame's
+/// timestamp when known. Produced by [`group_hits_by_frame`]; the shard
+/// router ships these back to each frame's owning shard for the rerank
+/// stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameSeed {
+    /// Video the frame belongs to.
+    pub video_id: u32,
+    /// Key-frame index within the video.
+    pub frame_index: u32,
+    /// Best fast-search score among the frame's candidate patches.
+    pub score: f32,
+    /// Bounding box of the best-scoring candidate patch (the rerank seed).
+    pub bbox: BoundingBox,
+    /// Timestamp of the key frame in seconds, when known to the producer.
+    pub timestamp: Option<f64>,
+}
+
+/// The coarse candidate order: score descending, packed patch id ascending —
+/// the same total order the segment-level top-k merge uses, exposed as a
+/// comparator so the shard router can merge concatenated per-shard lists
+/// into exactly the sequence a single engine's fast search would return.
+pub fn coarse_hit_order(a: &CoarseHit, b: &CoarseHit) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.patch_id.cmp(&b.patch_id))
+}
+
+/// The reranked output order: cross-modality score descending, then frame
+/// index, then video id — the exact sort `rerank_with_constraints` applies
+/// internally, exposed so the shard router's merge of per-shard reranked
+/// lists reproduces the single-engine sequence.
+pub fn reranked_order(a: &RankedObject, b: &RankedObject) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.frame_index.cmp(&b.frame_index))
+        .then_with(|| a.video_id.cmp(&b.video_id))
+}
+
+/// The ablation (rerank-disabled) output order: fast-search score
+/// descending, then `(video id, frame index)` ascending.
+pub fn unreranked_order(a: &RankedObject, b: &RankedObject) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| (a.video_id, a.frame_index).cmp(&(b.video_id, b.frame_index)))
+}
+
+/// Merges per-shard coarse top-k lists into the global top-`k`, in the order
+/// a single engine's fast search would return them ([`coarse_hit_order`]).
+/// Correct because each shard returns *its* top-`k` under the same total
+/// order, and every member of the global top-`k` residing on shard `s` is
+/// necessarily in `s`'s local top-`k`.
+pub fn merge_coarse(lists: Vec<Vec<CoarseHit>>, k: usize) -> Vec<CoarseHit> {
+    let mut merged: Vec<CoarseHit> = lists.into_iter().flatten().collect();
+    merged.sort_by(coarse_hit_order);
+    merged.truncate(k);
+    merged
+}
+
+/// Merges per-shard reranked result lists into the global output
+/// ([`reranked_order`], truncated to `output_frames`). Exact because the
+/// cross-modality model scores each frame independently and frames are
+/// partitioned across shards, so the union of per-shard sorted lists is a
+/// permutation-free merge of the single-engine list.
+pub fn merge_reranked(lists: Vec<Vec<RankedObject>>, output_frames: usize) -> Vec<RankedObject> {
+    let mut merged: Vec<RankedObject> = lists.into_iter().flatten().collect();
+    merged.sort_by(reranked_order);
+    merged.truncate(output_frames);
+    merged
+}
+
+/// Groups coarse candidates (given best-first) into candidate frames: one
+/// seed per key frame, listed in order of each frame's best patch's rank,
+/// keeping the best score/box per frame (strictly-greater wins, so on score
+/// ties the earlier — smaller-patch-id — box is kept). The single-engine
+/// executor and the shard router both group through this one function,
+/// which is what makes their frame ordering identical.
+pub fn group_hits_by_frame(hits: &[CoarseHit]) -> Vec<FrameSeed> {
+    let mut order: Vec<(u32, u32)> = Vec::new();
+    let mut best: HashMap<(u32, u32), FrameSeed> = HashMap::new();
+    for hit in hits {
+        let (video_id, frame_index, _) = split_patch_id(hit.patch_id);
+        let key = (video_id, frame_index);
+        match best.get_mut(&key) {
+            Some(existing) => {
+                if hit.score > existing.score {
+                    existing.score = hit.score;
+                    existing.bbox = hit.bbox;
+                }
+                if existing.timestamp.is_none() {
+                    existing.timestamp = hit.timestamp;
+                }
+            }
+            None => {
+                best.insert(
+                    key,
+                    FrameSeed {
+                        video_id,
+                        frame_index,
+                        score: hit.score,
+                        bbox: hit.bbox,
+                        timestamp: hit.timestamp,
+                    },
+                );
+                order.push(key);
+            }
+        }
+    }
+    order
+        .iter()
+        .filter_map(|key| best.get(key).copied())
+        .collect()
+}
+
+/// Assembles the ablation (rerank-disabled) output from grouped frame seeds:
+/// frames whose timestamp is unknown (key frame unpublished on the producing
+/// engine) are skipped, the rest are sorted by [`unreranked_order`] and
+/// truncated to `output_frames`.
+pub fn assemble_unreranked(seeds: &[FrameSeed], output_frames: usize) -> Vec<RankedObject> {
+    let mut ranked: Vec<RankedObject> = seeds
+        .iter()
+        .filter_map(|seed| {
+            seed.timestamp.map(|timestamp| RankedObject {
+                video_id: seed.video_id,
+                frame_index: seed.frame_index,
+                timestamp,
+                score: seed.score,
+                bbox: seed.bbox,
+            })
+        })
+        .collect();
+    ranked.sort_by(unreranked_order);
+    ranked.truncate(output_frames);
+    ranked
+}
+
+fn coarse_hit_from_joined(hit: &JoinedHit, timestamp: Option<f64>) -> CoarseHit {
+    CoarseHit {
+        patch_id: hit.patch_id,
+        score: hit.score,
+        bbox: BoundingBox::new(
+            hit.record.bbox.0,
+            hit.record.bbox.1,
+            hit.record.bbox.2,
+            hit.record.bbox.3,
+        ),
+        timestamp,
+    }
+}
+
+/// Multi-engine plan execution entry points: one engine acting as a *shard*
+/// runs a routed plan in two halves — the coarse stage against its local
+/// segments, and the rerank stage over the frames the router assigned back
+/// to it. Both take an already-compiled [`QueryPlan`] (compiled once at the
+/// router), and both encode the query text locally: encoding is
+/// content-deterministic, so every shard derives the same embedding the
+/// router's twin engine would.
+impl Lovo {
+    /// Runs a plan's encode + prune + coarse stages against this engine
+    /// only, returning candidate patches in fast-search order together with
+    /// the work counters. Each hit carries its key frame's timestamp so a
+    /// router can assemble rerank-disabled results without touching this
+    /// engine again. Provably-empty plans return no candidates without
+    /// searching. `intra_query_threads` sizes the segment fan-out (`0` =
+    /// automatic).
+    pub fn coarse_plan(
+        &self,
+        plan: &QueryPlan,
+        intra_query_threads: usize,
+    ) -> Result<(Vec<CoarseHit>, SearchStats)> {
+        if plan.provably_empty {
+            return Ok((Vec::new(), SearchStats::default()));
+        }
+        let embedding = self.text_encoder.encode(&plan.text)?;
+        let filter: Option<PushdownFilter> = if plan.patch_predicate.is_unconstrained() {
+            None
+        } else {
+            self.database.resolve_filter(&plan.patch_predicate)
+        };
+        let request = BatchQuery {
+            query: embedding.embedding.as_slice(),
+            k: plan.fast_search_k,
+            filter: filter.as_ref(),
+        };
+        let mut results = self.database.search_batch_with_stats_opts(
+            PATCH_COLLECTION,
+            std::slice::from_ref(&request),
+            intra_query_threads,
+        )?;
+        let (hits, stats) = results.pop().unwrap_or_default();
+        let keyframes = self.keyframes.read();
+        let coarse = hits
+            .iter()
+            .map(|hit| {
+                let (video_id, frame_index, _) = split_patch_id(hit.patch_id);
+                let timestamp = keyframes
+                    .get(&(video_id, frame_index))
+                    .map(|frame| frame.timestamp);
+                coarse_hit_from_joined(hit, timestamp)
+            })
+            .collect();
+        Ok((coarse, stats))
+    }
+
+    /// Runs a plan's rerank stage over the given candidate frames on this
+    /// engine: frames whose key frame this engine does not hold are skipped
+    /// (exactly as the single-engine path skips unpublished frames), and the
+    /// reranked list comes back sorted by [`reranked_order`] but
+    /// *untruncated* — the router applies the output budget globally after
+    /// merging every shard's list.
+    pub fn rerank_plan(&self, plan: &QueryPlan, seeds: &[FrameSeed]) -> Result<Vec<RankedObject>> {
+        let embedding = self.text_encoder.encode(&plan.text)?;
+        let keyframes = self.keyframes.read();
+        let candidates: Vec<CandidateFrame<'_>> = seeds
+            .iter()
+            .filter_map(|seed| {
+                keyframes
+                    .get(&(seed.video_id, seed.frame_index))
+                    .map(|frame| CandidateFrame {
+                        video_id: seed.video_id,
+                        frame,
+                        seed_box: Some(seed.bbox),
+                    })
+            })
+            .collect();
+        let reranked: Vec<RerankedFrame> = self
+            .rerank
+            .rerank_with_constraints(&embedding.parsed, &candidates)?;
+        Ok(reranked
+            .into_iter()
+            .map(|r| RankedObject {
+                video_id: r.video_id,
+                frame_index: r.frame_index as u32,
+                timestamp: r.timestamp,
+                score: r.score,
+                bbox: r.bbox,
+            })
+            .collect())
+    }
+}
 
 /// Executes a single plan.
 pub(crate) fn execute(lovo: &Lovo, plan: &QueryPlan) -> Result<QueryResult> {
@@ -157,39 +427,23 @@ fn finish(
 ) -> Result<QueryResult> {
     let fast_search_candidates = hits.len();
 
-    // Group candidate patches by their key frame, remembering the best
-    // fast-search score and box per frame.
-    let mut frame_order: Vec<(u32, u32)> = Vec::new();
-    let mut best_per_frame: std::collections::HashMap<(u32, u32), (f32, BoundingBox)> =
-        std::collections::HashMap::new();
-    for hit in &hits {
-        let (video_id, frame_index, _) = split_patch_id(hit.patch_id);
-        let key = (video_id, frame_index);
-        let bbox = BoundingBox::new(
-            hit.record.bbox.0,
-            hit.record.bbox.1,
-            hit.record.bbox.2,
-            hit.record.bbox.3,
-        );
-        match best_per_frame.get_mut(&key) {
-            Some(existing) => {
-                if hit.score > existing.0 {
-                    *existing = (hit.score, bbox);
-                }
-            }
-            None => {
-                best_per_frame.insert(key, (hit.score, bbox));
-                frame_order.push(key);
-            }
-        }
-    }
+    // Group candidate patches by their key frame through the shared
+    // implementation (the shard router groups through the same function, so
+    // frame ordering is identical in both serving shapes). Timestamps are
+    // attached lazily below, under the key-frame lock, only on the path
+    // that needs them.
+    let coarse: Vec<CoarseHit> = hits
+        .iter()
+        .map(|hit| coarse_hit_from_joined(hit, None))
+        .collect();
+    let mut seeds = group_hits_by_frame(&coarse);
 
-    // Bound the expensive rerank stage: `frame_order` lists frames in order
-    // of their best patch's fast-search rank (the search returns patches
+    // Bound the expensive rerank stage: `seeds` lists frames in order of
+    // their best patch's fast-search rank (the search returns patches
     // best-first and a frame is recorded at its first patch), so truncation
     // keeps the strongest candidate frames.
     if plan.enable_rerank {
-        frame_order.truncate(plan.rerank_frames);
+        seeds.truncate(plan.rerank_frames);
     }
 
     // Hold the key-frame read lock across the rerank: candidates borrow
@@ -198,14 +452,16 @@ fn finish(
     let keyframes = lovo.keyframes.read();
     let rerank_start = Instant::now();
     let frames = if plan.enable_rerank {
-        let candidates: Vec<CandidateFrame<'_>> = frame_order
+        let candidates: Vec<CandidateFrame<'_>> = seeds
             .iter()
-            .filter_map(|key| {
-                keyframes.get(key).map(|frame| CandidateFrame {
-                    video_id: key.0,
-                    frame,
-                    seed_box: best_per_frame.get(key).map(|(_, b)| *b),
-                })
+            .filter_map(|seed| {
+                keyframes
+                    .get(&(seed.video_id, seed.frame_index))
+                    .map(|frame| CandidateFrame {
+                        video_id: seed.video_id,
+                        frame,
+                        seed_box: Some(seed.bbox),
+                    })
             })
             .collect();
         let reranked: Vec<RerankedFrame> = lovo
@@ -225,30 +481,15 @@ fn finish(
     } else {
         // Ablation: return the fast-search frame order directly. Frames
         // whose key frame is not in the map (a query racing an append, see
-        // `Lovo::add_videos`) are skipped here exactly as the rerank path
-        // skips them — not emitted with a fabricated timestamp.
-        let mut ranked: Vec<RankedObject> = frame_order
-            .iter()
-            .filter_map(|key| {
-                let (score, bbox) = *best_per_frame.get(key)?;
-                let frame = keyframes.get(key)?;
-                Some(RankedObject {
-                    video_id: key.0,
-                    frame_index: key.1,
-                    timestamp: frame.timestamp,
-                    score,
-                    bbox,
-                })
-            })
-            .collect();
-        ranked.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (a.video_id, a.frame_index).cmp(&(b.video_id, b.frame_index)))
-        });
-        ranked.truncate(plan.output_frames);
-        ranked
+        // `Lovo::add_videos`) are skipped — their timestamp stays `None` —
+        // exactly as the rerank path skips them, not emitted with a
+        // fabricated timestamp.
+        for seed in &mut seeds {
+            seed.timestamp = keyframes
+                .get(&(seed.video_id, seed.frame_index))
+                .map(|frame| frame.timestamp);
+        }
+        assemble_unreranked(&seeds, plan.output_frames)
     };
     timing.rerank_seconds = if plan.enable_rerank {
         rerank_start.elapsed().as_secs_f64()
@@ -258,11 +499,7 @@ fn finish(
 
     Ok(QueryResult {
         query: plan.text.clone(),
-        reranked_frames: if plan.enable_rerank {
-            frame_order.len()
-        } else {
-            0
-        },
+        reranked_frames: if plan.enable_rerank { seeds.len() } else { 0 },
         frames,
         fast_search_candidates,
         timings: *timing,

@@ -46,8 +46,16 @@ pub mod summary;
 
 pub use config::LovoConfig;
 pub use engine::{Lovo, QueryResult, QueryTimings, RankedObject};
+pub use exec::{
+    assemble_unreranked, coarse_hit_order, group_hits_by_frame, merge_coarse, merge_reranked,
+    reranked_order, unreranked_order, CoarseHit, FrameSeed,
+};
 pub use planner::{PlanStage, QueryPlan, QueryPlanner, QuerySpec};
 pub use summary::{IngestStats, VideoSummarizer};
+
+/// Re-exported so serving layers can aggregate per-shard work counters
+/// without depending on `lovo-index` directly.
+pub use lovo_index::SearchStats;
 
 // The compiled storage-level predicate is a public field of `QueryPlan`;
 // re-exported so plan consumers (e.g. `lovo-serve`) need not depend on

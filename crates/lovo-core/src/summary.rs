@@ -243,8 +243,18 @@ impl VideoSummarizer {
             };
         }
         if stats.patches_indexed == 0 {
+            if videos.videos.is_empty() {
+                // An empty batch is legal: a freshly provisioned engine
+                // shard starts with no videos and receives its corpus
+                // through later ingests. The (empty) collection above still
+                // exists, so queries answer empty instead of erroring.
+                return Ok(stats);
+            }
+            // Non-empty footage yielding zero embeddings is a real pipeline
+            // failure (objectness threshold ate everything?), not a shape of
+            // input the caller should be able to produce on purpose.
             return Err(LovoError::InvalidState(
-                "ingestion produced no patch embeddings (empty collection?)".into(),
+                "ingestion produced no patch embeddings from non-empty footage".into(),
             ));
         }
         database.seal_collection(PATCH_COLLECTION)?;

@@ -131,6 +131,15 @@ pub struct SearchStats {
     /// segments it claimed; the merge sums them, so the total is
     /// deterministic regardless of work-stealing order).
     pub parallel_segments: usize,
+    /// Number of engine shards a routed query actually executed on. A
+    /// single-engine search reports 0; the shard router sets this to the
+    /// post-pruning fan-out width.
+    pub shards_probed: usize,
+    /// Number of engine shards skipped entirely because their video
+    /// placement could not intersect the plan's video predicate — the
+    /// zone-map pruning idea lifted one level up. A single-engine search
+    /// reports 0.
+    pub shards_pruned: usize,
 }
 
 impl SearchStats {
@@ -146,6 +155,8 @@ impl SearchStats {
         self.heap_pushes += other.heap_pushes;
         self.filtered_out += other.filtered_out;
         self.parallel_segments += other.parallel_segments;
+        self.shards_probed += other.shards_probed;
+        self.shards_pruned += other.shards_pruned;
     }
 }
 
@@ -651,6 +662,8 @@ mod tests {
             heap_pushes: 11,
             filtered_out: 2,
             parallel_segments: 1,
+            shards_probed: 2,
+            shards_pruned: 6,
         };
         a.merge(&SearchStats {
             vectors_scored: 7,
@@ -661,6 +674,8 @@ mod tests {
             heap_pushes: 6,
             filtered_out: 3,
             parallel_segments: 2,
+            shards_probed: 1,
+            shards_pruned: 3,
         });
         assert_eq!(a.vectors_scored, 17);
         assert_eq!(a.cells_probed, 5);
@@ -670,6 +685,8 @@ mod tests {
         assert_eq!(a.heap_pushes, 17);
         assert_eq!(a.filtered_out, 5);
         assert_eq!(a.parallel_segments, 3);
+        assert_eq!(a.shards_probed, 3);
+        assert_eq!(a.shards_pruned, 9);
     }
 
     #[test]

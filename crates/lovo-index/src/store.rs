@@ -238,8 +238,7 @@ mod tests {
         // offsetting it by one byte is then guaranteed misaligned.
         let buffer = Arc::new(vec![0.0f32; 16]);
         // SAFETY: raw byte view of the f32 buffer — same allocation.
-        let bytes: &[u8] =
-            unsafe { std::slice::from_raw_parts(buffer.as_ptr().cast::<u8>(), 64) };
+        let bytes: &[u8] = unsafe { std::slice::from_raw_parts(buffer.as_ptr().cast::<u8>(), 64) };
         let owner: Arc<dyn Any + Send + Sync> = buffer.clone();
         // Length not a multiple of 4.
         // SAFETY: bytes borrow from the Arc'd Vec passed as owner.

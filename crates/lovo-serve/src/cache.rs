@@ -54,27 +54,38 @@ impl PlanKey {
     }
 }
 
-struct Entry {
+struct Entry<V> {
     key: PlanKey,
     epoch: u64,
-    result: QueryResult,
+    result: V,
     last_used: u64,
 }
 
-#[derive(Default)]
-struct Shard {
-    map: HashMap<u64, Entry>,
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
     tick: u64,
 }
 
-/// Sharded LRU of query results, invalidated by ingest epoch.
-pub(crate) struct ResultCache {
-    shards: Vec<Mutex<Shard>>,
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+/// Sharded LRU of cached values keyed by plan fingerprint, invalidated by
+/// ingest epoch. Generic over the cached value so the serving layer stores
+/// whole [`QueryResult`]s while the shard router's per-shard caches store
+/// coarse-stage responses.
+pub(crate) struct ResultCache<V: Clone = QueryResult> {
+    shards: Vec<Mutex<Shard<V>>>,
     per_shard_capacity: usize,
     stale_evictions: AtomicU64,
 }
 
-impl ResultCache {
+impl<V: Clone> ResultCache<V> {
     /// A cache of `capacity` total entries over `shards` independently locked
     /// shards. `capacity == 0` disables the cache (every lookup misses,
     /// every insert is dropped).
@@ -87,7 +98,7 @@ impl ResultCache {
         }
     }
 
-    fn shard(&self, fingerprint: u64) -> &Mutex<Shard> {
+    fn shard(&self, fingerprint: u64) -> &Mutex<Shard<V>> {
         // lint:allow(index, in bounds by construction: fingerprint % len with len >= 1)
         &self.shards[(fingerprint % self.shards.len() as u64) as usize]
     }
@@ -95,12 +106,7 @@ impl ResultCache {
     /// Looks up the plan's cached result, valid only at `epoch`. An entry
     /// stamped with any other epoch is evicted on sight (the collection has
     /// changed since it was computed) and the lookup misses.
-    pub(crate) fn get(
-        &self,
-        fingerprint: u64,
-        plan: &QueryPlan,
-        epoch: u64,
-    ) -> Option<QueryResult> {
+    pub(crate) fn get(&self, fingerprint: u64, plan: &QueryPlan, epoch: u64) -> Option<V> {
         if self.per_shard_capacity == 0 {
             return None;
         }
@@ -130,7 +136,7 @@ impl ResultCache {
     /// least-recently-used entry when full. Eviction scans the shard
     /// linearly — shards are small (capacity / shard count), so this stays
     /// cheap without an intrusive list.
-    pub(crate) fn put(&self, fingerprint: u64, plan: &QueryPlan, epoch: u64, result: QueryResult) {
+    pub(crate) fn put(&self, fingerprint: u64, plan: &QueryPlan, epoch: u64, result: V) {
         if self.per_shard_capacity == 0 {
             return;
         }

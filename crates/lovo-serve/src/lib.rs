@@ -32,6 +32,12 @@
 //! left-over growing rows and compacts undersized sealed segments off the
 //! query path, so steady query traffic never pays for index builds.
 //!
+//! For corpora larger than one engine, the [`shard`] module scales *out*:
+//! videos are placed onto N engine shards and a [`ShardRouter`]
+//! scatter-gathers each query across them, pruning shards the plan provably
+//! cannot match and merging per-shard answers bit-identically to a single
+//! engine holding the whole corpus.
+//!
 //! ```
 //! use lovo_core::{Lovo, LovoConfig, QuerySpec};
 //! use lovo_serve::{QueryService, ServeConfig};
@@ -60,9 +66,15 @@
 mod cache;
 mod config;
 mod service;
+pub mod shard;
 
 pub use config::ServeConfig;
 pub use service::{QueryService, ServeStats, Served};
+pub use shard::{
+    partition_videos, CoarseRequest, CoarseResponse, EngineShard, HashPlacement, LocalShard,
+    Placement, RerankRequest, RerankResponse, ShardConfig, ShardError, ShardOutage, ShardRouter,
+    ShardStats, ShardedResult,
+};
 
 /// Errors surfaced by the query service.
 #[derive(Debug, Clone, PartialEq, Eq)]

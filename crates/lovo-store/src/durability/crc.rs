@@ -142,7 +142,9 @@ mod tests {
             }
             state ^ 0xFFFF_FFFF
         }
-        let data: Vec<u8> = (0..1021u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+        let data: Vec<u8> = (0..1021u32)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
         for len in [0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 1000, 1021] {
             assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
         }

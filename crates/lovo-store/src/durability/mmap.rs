@@ -92,7 +92,11 @@ impl Mapping {
     /// queries. Honours a fault armed at [`points::SEGMENT_MMAP`]; any
     /// failure (injected or real) is an I/O-class error the caller treats
     /// as "fall back to heap", never as corruption.
-    pub fn map_file(path: &Path, populate: bool, faults: &Faults) -> Result<Arc<Self>, StorageError> {
+    pub fn map_file(
+        path: &Path,
+        populate: bool,
+        faults: &Faults,
+    ) -> Result<Arc<Self>, StorageError> {
         if io::fault_check(faults, points::SEGMENT_MMAP).is_some() {
             return Err(StorageError::Io {
                 context: format!("injected fault at {}", points::SEGMENT_MMAP),
@@ -265,8 +269,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn scratch_file(tag: &str, bytes: &[u8]) -> PathBuf {
-        let path =
-            std::env::temp_dir().join(format!("lovo-mmap-{tag}-{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("lovo-mmap-{tag}-{}", std::process::id()));
         std::fs::write(&path, bytes).unwrap();
         path
     }

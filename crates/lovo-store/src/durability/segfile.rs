@@ -96,8 +96,11 @@ pub struct LoadedSegment {
     /// Metadata rows for the segment's patch ids.
     pub meta: Vec<PatchRecord>,
     /// Auxiliary blobs whose frames have rows in this segment.
-    pub aux: Vec<(u64, Vec<u8>)>,
+    pub aux: Vec<AuxBlob>,
 }
+
+/// One auxiliary blob as stored: the owning frame key and its bytes.
+pub type AuxBlob = (u64, Vec<u8>);
 
 impl LoadedSegment {
     /// Number of rows stored.
@@ -256,7 +259,9 @@ fn parse_segment<'a>(
 ) -> Result<RawSegment<'a>, StorageError> {
     let fail = |detail: String| corrupt(path, detail);
     let mut r = ByteReader::new(bytes);
-    let magic = r.bytes(4, "segment magic").map_err(|e| fail(e.to_string()))?;
+    let magic = r
+        .bytes(4, "segment magic")
+        .map_err(|e| fail(e.to_string()))?;
     if magic != SEGMENT_MAGIC {
         return Err(fail("bad segment magic".to_string()));
     }
@@ -362,17 +367,17 @@ fn decode_ids(section: &[u8], path: &Path) -> Result<Vec<u64>, StorageError> {
     let mut s = ByteReader::new(section);
     let mut ids = Vec::with_capacity(section.len() / 8);
     while !s.is_exhausted() {
-        ids.push(
-            s.u64("row id")
-                .map_err(|e| corrupt(path, e.to_string()))?,
-        );
+        ids.push(s.u64("row id").map_err(|e| corrupt(path, e.to_string()))?);
     }
     Ok(ids)
 }
 
 /// Decodes the rows onto the heap: `(ids, row-major values)` for both the
 /// v1 interleaved layout and the v2 split layout.
-fn decode_rows_heap(raw: &RawSegment<'_>, path: &Path) -> Result<(Vec<u64>, Vec<f32>), StorageError> {
+fn decode_rows_heap(
+    raw: &RawSegment<'_>,
+    path: &Path,
+) -> Result<(Vec<u64>, Vec<f32>), StorageError> {
     let Some(section) = raw.vectors else {
         return Ok((Vec::new(), Vec::new()));
     };
@@ -406,7 +411,7 @@ fn decode_rows_heap(raw: &RawSegment<'_>, path: &Path) -> Result<(Vec<u64>, Vec<
 fn decode_meta_aux(
     raw: &RawSegment<'_>,
     path: &Path,
-) -> Result<(Vec<PatchRecord>, Vec<(u64, Vec<u8>)>), StorageError> {
+) -> Result<(Vec<PatchRecord>, Vec<AuxBlob>), StorageError> {
     let fail = |detail: String| corrupt(path, detail);
     let mut meta = Vec::new();
     if let Some(section) = raw.meta {
@@ -678,8 +683,10 @@ mod tests {
         assert_eq!(loaded.dim, 4);
         assert_eq!(loaded.row_count(), 10);
         assert!(!loaded.rows.is_mapped());
-        let round: Vec<(u64, Vec<f32>)> =
-            loaded.iter_rows().map(|(id, row)| (id, row.to_vec())).collect();
+        let round: Vec<(u64, Vec<f32>)> = loaded
+            .iter_rows()
+            .map(|(id, row)| (id, row.to_vec()))
+            .collect();
         assert_eq!(round, rows);
         assert_eq!(loaded.meta, meta_rows);
         assert_eq!(loaded.aux, vec![(42u64, blob)]);

@@ -151,7 +151,9 @@ fn probes() -> Vec<Vec<f32>> {
     for _ in 0..5 {
         let q: Vec<f32> = (0..DIM)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             })
             .collect();
@@ -187,9 +189,12 @@ fn mmap_and_heap_reads_are_bit_identical_across_index_families() {
         let root = scratch_root(&format!("equiv-{name}"));
         build_store(&root, config);
 
-        let (heap, heap_report) =
-            VectorDatabase::open_durable_with(&root, DurabilityConfig::new(), OpenOptions::default())
-                .unwrap();
+        let (heap, heap_report) = VectorDatabase::open_durable_with(
+            &root,
+            DurabilityConfig::new(),
+            OpenOptions::default(),
+        )
+        .unwrap();
         assert!(heap_report.is_clean(), "{name}: heap open");
         assert_eq!(heap.mapped_bytes(), 0, "{name}: heap open must not map");
 
@@ -277,7 +282,11 @@ fn mmap_fault_falls_back_to_heap_read() {
         plan.triggered().contains(&points::SEGMENT_MMAP.to_string()),
         "the mmap point must actually have fired"
     );
-    assert_eq!(db.mapped_bytes(), 0, "the faulted file must not stay mapped");
+    assert_eq!(
+        db.mapped_bytes(),
+        0,
+        "the faulted file must not stay mapped"
+    );
     let (heap, _) =
         VectorDatabase::open_durable_with(&root, DurabilityConfig::new(), OpenOptions::default())
             .unwrap();
@@ -308,7 +317,8 @@ fn madvise_fault_is_advisory_only() {
     assert_eq!(db.warmup(), 0, "a refused hint reports zero bytes advised");
     if MMAP_SUPPORTED {
         assert!(
-            plan.triggered().contains(&points::SEGMENT_MADVISE.to_string()),
+            plan.triggered()
+                .contains(&points::SEGMENT_MADVISE.to_string()),
             "the madvise point must actually have fired"
         );
     }

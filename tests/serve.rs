@@ -7,7 +7,10 @@
 //! answered from a pre-ingest cache entry once the ingest has committed.
 
 use lovo::core::{Lovo, LovoConfig, QuerySpec};
-use lovo::serve::{QueryService, ServeConfig, ServeError};
+use lovo::serve::{
+    partition_videos, HashPlacement, LocalShard, QueryService, ServeConfig, ServeError,
+    ShardConfig, ShardRouter,
+};
 use lovo::video::{DatasetConfig, DatasetKind, VideoCollection};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -23,6 +26,20 @@ fn collection(frames: usize, seed: u64, id_offset: u32) -> VideoCollection {
         video.id += id_offset;
     }
     videos
+}
+
+/// Ingest epochs in the per-shard vector form the shard router exposes
+/// (`ShardRouter::epochs`). A standalone engine is the one-shard case; the
+/// freshness assertions below are written against the vector so they state
+/// the invariant that actually generalizes: entry `s` moves exactly when
+/// shard `s`'s collection changes.
+fn engine_epochs(engine: &Lovo) -> Vec<u64> {
+    vec![engine.ingest_epoch()]
+}
+
+/// True when any shard's epoch advanced past its `before` counterpart.
+fn any_epoch_advanced(before: &[u64], now: &[u64]) -> bool {
+    before.iter().zip(now).any(|(b, n)| n > b)
 }
 
 #[test]
@@ -45,7 +62,7 @@ fn sixteen_threads_hammering_during_concurrent_ingest() {
         "a person walking on the sidewalk",
         "a car on the road",
     ];
-    let epoch_before = engine.ingest_epoch();
+    let epochs_before = engine_epochs(&engine);
     let ingest_done = AtomicBool::new(false);
     let post_ingest_submissions = AtomicUsize::new(0);
 
@@ -66,6 +83,7 @@ fn sixteen_threads_hammering_during_concurrent_ingest() {
         for worker in 0..16 {
             let service = &service;
             let engine = &engine;
+            let epochs_before = &epochs_before;
             let ingest_done = &ingest_done;
             let post_ingest_submissions = &post_ingest_submissions;
             let text = queries[worker % queries.len()];
@@ -82,7 +100,7 @@ fn sixteen_threads_hammering_during_concurrent_ingest() {
                     // assertion sound: if the ingest had already committed by
                     // then, a stale pre-ingest answer must be impossible.
                     let ingest_was_done = ingest_done.load(Ordering::SeqCst);
-                    let epoch_seen = engine.ingest_epoch();
+                    let epochs_seen = engine_epochs(engine);
                     let served = service.submit(QuerySpec::new(text)).expect("submit");
                     assert!(!served.result.frames.is_empty());
                     for pair in served.result.frames.windows(2) {
@@ -96,8 +114,8 @@ fn sixteen_threads_hammering_during_concurrent_ingest() {
                         // means pre-ingest cache entries were NOT served.
                         if served.cache_hit {
                             assert!(
-                                epoch_seen > epoch_before,
-                                "cache hit served although the epoch never moved?"
+                                any_epoch_advanced(epochs_before, &epochs_seen),
+                                "cache hit served although no shard's epoch ever moved?"
                             );
                         }
                     }
@@ -107,8 +125,8 @@ fn sixteen_threads_hammering_during_concurrent_ingest() {
     });
 
     assert!(
-        engine.ingest_epoch() > epoch_before,
-        "ingest must bump the epoch"
+        any_epoch_advanced(&epochs_before, &engine_epochs(&engine)),
+        "ingest must bump the ingesting shard's epoch"
     );
     assert!(
         post_ingest_submissions.load(Ordering::Relaxed) > 0,
@@ -333,4 +351,166 @@ fn served_wait_time_separates_queue_from_engine_stages() {
             "expected a visible batch-window wait, got {max_wait}s"
         );
     });
+}
+
+#[test]
+fn sharded_epochs_and_caches_move_per_shard() {
+    // The per-shard generalization of the freshness invariant above: with
+    // two shards behind a router, ingesting into one shard moves exactly
+    // that shard's entry in `ShardRouter::epochs` and invalidates exactly
+    // that shard's coarse cache — the other shard keeps answering from its
+    // cache across the ingest.
+    let videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_num_videos(4)
+            .with_frames_per_video(60)
+            .with_seed(21),
+    );
+    let config = LovoConfig::default();
+    let placement = Arc::new(HashPlacement::new(2));
+    let engines: Vec<Arc<Lovo>> = partition_videos(&videos, placement.as_ref())
+        .iter()
+        .map(|part| Arc::new(Lovo::build(part, config).expect("build shard engine")))
+        .collect();
+    assert_eq!(engines.len(), 2, "two shard engines expected");
+    let shards: Vec<Arc<dyn lovo::serve::EngineShard>> = engines
+        .iter()
+        .map(|engine| {
+            Arc::new(LocalShard::new(Arc::clone(engine))) as Arc<dyn lovo::serve::EngineShard>
+        })
+        .collect();
+    // The merged-result cache is disabled here so the *per-shard* coarse
+    // caches are observable; the result layer has its own test below.
+    let router = ShardRouter::new(
+        shards,
+        Arc::clone(&placement) as _,
+        config,
+        ShardConfig::default().with_result_cache_capacity(0),
+    )
+    .expect("build router");
+
+    let spec = QuerySpec::new("a car on the road");
+    let first = router.query_spec(&spec).expect("first query");
+    assert_eq!(first.coarse_cache_hits, 0);
+    let second = router.query_spec(&spec).expect("second query");
+    assert_eq!(
+        second.coarse_cache_hits, 2,
+        "both shards should answer the repeat from cache"
+    );
+    assert_eq!(second.result.frames, first.result.frames);
+
+    // Ingest new footage into shard 0 only — respecting the placement, so
+    // the router's ownership map stays truthful.
+    let epochs_before = router.epochs();
+    assert_eq!(epochs_before.len(), 2);
+    let batch = {
+        let mut fresh = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_num_videos(8)
+                .with_frames_per_video(45)
+                .with_seed(77),
+        );
+        for video in &mut fresh.videos {
+            video.id += 1000;
+        }
+        let part = partition_videos(&fresh, placement.as_ref()).swap_remove(0);
+        assert!(
+            !part.videos.is_empty(),
+            "batch must place videos on shard 0"
+        );
+        part
+    };
+    engines[0].add_videos(&batch).expect("ingest into shard 0");
+
+    let epochs_after = router.epochs();
+    assert!(
+        epochs_after[0] > epochs_before[0],
+        "ingesting shard's epoch must advance: {epochs_before:?} -> {epochs_after:?}"
+    );
+    assert_eq!(
+        epochs_after[1], epochs_before[1],
+        "idle shard's epoch must not move: {epochs_before:?} -> {epochs_after:?}"
+    );
+
+    // Same spec again: shard 0's cache entry is stale (epoch moved) and is
+    // recomputed; shard 1 still hits.
+    let stats_before = router.stats();
+    let third = router.query_spec(&spec).expect("post-ingest query");
+    let stats_after = router.stats();
+    assert_eq!(
+        third.coarse_cache_hits, 1,
+        "only the idle shard should answer from cache after the ingest"
+    );
+    assert_eq!(stats_after.cache_hits - stats_before.cache_hits, 1);
+    assert_eq!(
+        stats_after.coarse_requests - stats_before.coarse_requests,
+        1
+    );
+    assert!(third.outages.is_empty());
+}
+
+#[test]
+fn sharded_result_cache_serves_repeats_until_a_shard_ingests() {
+    // The router-level merged-result cache: a repeat plan over unchanged
+    // shards is answered without any scatter, and an ingest into *either*
+    // shard changes the epoch vector and forces a recompute.
+    let videos = VideoCollection::generate(
+        DatasetConfig::for_kind(DatasetKind::Bellevue)
+            .with_num_videos(4)
+            .with_frames_per_video(60)
+            .with_seed(33),
+    );
+    let config = LovoConfig::default();
+    let placement = Arc::new(HashPlacement::new(2));
+    let engines: Vec<Arc<Lovo>> = partition_videos(&videos, placement.as_ref())
+        .iter()
+        .map(|part| Arc::new(Lovo::build(part, config).expect("build shard engine")))
+        .collect();
+    let shards: Vec<Arc<dyn lovo::serve::EngineShard>> = engines
+        .iter()
+        .map(|engine| {
+            Arc::new(LocalShard::new(Arc::clone(engine))) as Arc<dyn lovo::serve::EngineShard>
+        })
+        .collect();
+    let router = ShardRouter::new(
+        shards,
+        Arc::clone(&placement) as _,
+        config,
+        ShardConfig::default(),
+    )
+    .expect("build router");
+
+    let spec = QuerySpec::new("a bus driving on the road");
+    let first = router.query_spec(&spec).expect("first query");
+    assert!(!first.result_cache_hit);
+    let second = router.query_spec(&spec).expect("repeat query");
+    assert!(second.result_cache_hit, "repeat should skip the scatter");
+    assert_eq!(second.result.frames, first.result.frames);
+    assert_eq!(second.shards_probed, first.shards_probed);
+    assert_eq!(router.stats().result_hits, 1);
+
+    // Ingest into shard 0 (placement-respecting): the target epoch vector
+    // changes, so the cached answer is stale and the next query recomputes.
+    let batch = {
+        let mut fresh = VideoCollection::generate(
+            DatasetConfig::for_kind(DatasetKind::Bellevue)
+                .with_num_videos(8)
+                .with_frames_per_video(45)
+                .with_seed(91),
+        );
+        for video in &mut fresh.videos {
+            video.id += 2000;
+        }
+        partition_videos(&fresh, placement.as_ref()).swap_remove(0)
+    };
+    assert!(!batch.videos.is_empty());
+    engines[0].add_videos(&batch).expect("ingest into shard 0");
+
+    let third = router.query_spec(&spec).expect("post-ingest query");
+    assert!(
+        !third.result_cache_hit,
+        "epoch vector moved — the cached result must not be served"
+    );
+    assert_eq!(router.stats().result_hits, 1);
+    assert_eq!(router.stats().result_misses, 2);
 }
